@@ -1,0 +1,18 @@
+//! Ablation bench: prints all five ablation tables, then times the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::ablations::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("ablations/suite", |b| {
+        b.iter(|| std::hint::black_box(af_bench::ablations::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

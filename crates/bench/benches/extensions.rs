@@ -1,0 +1,25 @@
+//! Extensions bench: prints the four extension studies, then times the
+//! exponent-width search kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::extensions::run(true);
+    println!("\n{}", out.rendered);
+    let layer: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.219).sin() * 4.0).collect();
+    c.bench_function("extensions/exponent_search_8bit", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                adaptivfloat::search::search_adaptivfloat_exponent(8, &[&layer])
+                    .expect("feasible"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 1 bench: prints the regenerated weight-range figure, then
+//! times the ensemble synthesis that feeds it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let fig = af_bench::fig1::run(true);
+    println!("\n{}", fig.rendered);
+    c.bench_function("fig1/ensemble_synthesis", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig1::run(true).bars.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

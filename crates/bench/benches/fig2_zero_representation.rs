@@ -1,0 +1,18 @@
+//! Figure 2 bench: prints the zero-representation grids, then times the representable-value enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::fig2::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("fig2/grid_enumeration", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig2::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 3 bench: prints the worked <4,2> example, then times Algorithm 1 on the example matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::fig3::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("fig3/algorithm1_example", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig3::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 4 bench: prints the per-layer RMS-error table, then times the full format x bits sweep (quick ensembles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::fig4::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("fig4/rms_sweep", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig4::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 5 bench: prints both PE bills of materials and bit-accuracy results, then times the datapath construction + drive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::fig5::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("fig5/pe_build_and_drive", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig5::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 6 bench: prints the accelerator schedule, then times the cycle model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::fig6::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("fig6/cycle_model", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig6::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

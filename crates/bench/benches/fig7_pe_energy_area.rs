@@ -1,0 +1,18 @@
+//! Figure 7 bench: prints the energy and perf/area table against the paper's values, then times the 12-point sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::fig7::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("fig7/pe_sweep", |b| {
+        b.iter(|| std::hint::black_box(af_bench::fig7::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

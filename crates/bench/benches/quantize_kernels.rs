@@ -1,0 +1,67 @@
+//! Kernel micro-benches: quantization throughput of every format, the
+//! bit-packed codec, and the bit-accurate MAC datapaths.
+
+use adaptivfloat::{AdaptivFloat, FormatKind, Uniform};
+use af_hw::arith::{hfint_dot, int_dot_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn data(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 2654435761) % 10007) as f32 * 0.002 - 10.0)
+        .collect()
+}
+
+fn quantize_formats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize_slice_4096");
+    let w = data(4096);
+    g.throughput(Throughput::Elements(4096));
+    for kind in FormatKind::ALL {
+        for bits in [4u32, 8] {
+            let fmt = kind.build(bits).expect("valid");
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), bits),
+                &w,
+                |b, w| b.iter(|| std::hint::black_box(fmt.quantize_slice(w))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let w = data(4096);
+    let fmt = AdaptivFloat::new(8, 3).expect("valid");
+    c.bench_function("adaptivfloat/quantize_tensor_packed_4096", |b| {
+        b.iter(|| std::hint::black_box(fmt.quantize_tensor(&w).packed_bytes()))
+    });
+    let qt = fmt.quantize_tensor(&w);
+    c.bench_function("adaptivfloat/dequantize_packed_4096", |b| {
+        b.iter(|| std::hint::black_box(qt.dequantize().len()))
+    });
+}
+
+fn mac_datapaths(c: &mut Criterion) {
+    let w = data(256);
+    let a = data(256);
+    let fmt = AdaptivFloat::new(8, 3).expect("valid");
+    let wp = fmt.params_for(&w);
+    let ap = fmt.params_for(&a);
+    let wc: Vec<u32> = w.iter().map(|&v| fmt.encode_with(&wp, v)).collect();
+    let ac: Vec<u32> = a.iter().map(|&v| fmt.encode_with(&ap, v)).collect();
+    c.bench_function("pe/hfint_dot_256", |b| {
+        b.iter(|| std::hint::black_box(hfint_dot(&fmt, &wp, &ap, &wc, &ac)))
+    });
+    let uni = Uniform::new(8).expect("valid");
+    let (sw, wl) = uni.quantize_levels(&w);
+    let (sa, al) = uni.quantize_levels(&a);
+    c.bench_function("pe/int_dot_scaled_256", |b| {
+        b.iter(|| std::hint::black_box(int_dot_scaled(&wl, &al, sw * sa, 16)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = quantize_formats, codec, mac_datapaths
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 1 bench: trains the three minis once and prints the table, then
+//! times the evaluation path of the trained Transformer.
+
+use af_models::ModelFamily;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let t = af_bench::table1::run(true);
+    println!("\n{}", t.rendered);
+    let budget = af_bench::Budget::quick();
+    let mut model = af_bench::table1::build(ModelFamily::Transformer, 42);
+    model.train_steps(af_bench::table1::fp32_steps(&budget, ModelFamily::Transformer));
+    c.bench_function("table1/transformer_evaluate", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate(5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 2 bench: regenerates the (scaled-down) PTQ/QAR sweep once and
+//! prints it, then times a single PTQ cell (quantize weights + evaluate).
+
+use adaptivfloat::FormatKind;
+use af_models::ModelFamily;
+use af_nn::QuantSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let t = af_bench::table2::run(true);
+    println!("\n{}", t.rendered);
+    let budget = af_bench::Budget::quick();
+    let mut model = af_bench::table2::families()
+        .into_iter()
+        .find(|f| *f == ModelFamily::ResNet)
+        .map(|f| af_bench::table1::build(f, 42))
+        .expect("resnet present");
+    model.train_steps(af_bench::table1::fp32_steps(&budget, ModelFamily::ResNet));
+    let snapshot = model.snapshot();
+    c.bench_function("table2/ptq_cell_resnet_adaptivfloat8", |b| {
+        b.iter(|| {
+            model.restore(&snapshot);
+            model
+                .quantize_weights_ptq(QuantSpec::new(FormatKind::AdaptivFloat, 8))
+                .expect("valid spec");
+            std::hint::black_box(model.evaluate(10))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

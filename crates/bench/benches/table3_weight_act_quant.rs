@@ -1,0 +1,30 @@
+//! Table 3 bench: regenerates the (scaled-down) weight+activation sweep
+//! once and prints it, then times a quantized forward/evaluate pass.
+
+use adaptivfloat::FormatKind;
+use af_models::ModelFamily;
+use af_nn::QuantSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let t = af_bench::table3::run(true);
+    println!("\n{}", t.rendered);
+    let budget = af_bench::Budget::quick();
+    let mut model = af_bench::table1::build(ModelFamily::ResNet, 42);
+    model.train_steps(af_bench::table1::fp32_steps(&budget, ModelFamily::ResNet));
+    let q = QuantSpec::new(FormatKind::AdaptivFloat, 8)
+        .build()
+        .expect("valid spec");
+    model.set_weight_quantizer(Some(q.clone()));
+    model.set_act_quantizer(Some(q));
+    c.bench_function("table3/w8a8_resnet_evaluate", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate(10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

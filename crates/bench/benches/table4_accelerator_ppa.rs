@@ -1,0 +1,18 @@
+//! Table 4 bench: prints the accelerator PPA rollup, then times the workload run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let out = af_bench::table4::run(true);
+    println!("\n{}", out.rendered);
+    c.bench_function("table4/accelerator_run", |b| {
+        b.iter(|| std::hint::black_box(af_bench::table4::run(true).rendered.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

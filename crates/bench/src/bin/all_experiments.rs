@@ -1,0 +1,24 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! Usage: `cargo run --release -p af-bench --bin all_experiments [--quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("=== AdaptivFloat reproduction — all experiments ({mode} mode) ===\n");
+    let t0 = std::time::Instant::now();
+    println!("{}\n", af_bench::fig1::run(quick).rendered);
+    println!("{}\n", af_bench::fig2::run(quick).rendered);
+    println!("{}\n", af_bench::fig3::run(quick).rendered);
+    println!("{}\n", af_bench::fig4::run(quick).rendered);
+    println!("{}\n", af_bench::table1::run(quick).rendered);
+    println!("{}\n", af_bench::table2::run(quick).rendered);
+    println!("{}\n", af_bench::table3::run(quick).rendered);
+    println!("{}\n", af_bench::fig5::run(quick).rendered);
+    println!("{}\n", af_bench::fig6::run(quick).rendered);
+    println!("{}\n", af_bench::fig7::run(quick).rendered);
+    println!("{}\n", af_bench::table4::run(quick).rendered);
+    println!("{}\n", af_bench::ablations::run(quick).rendered);
+    println!("{}\n", af_bench::extensions::run(quick).rendered);
+    println!("total wall-clock: {:.1?} ", t0.elapsed());
+}

@@ -1,0 +1,7 @@
+//! Run the extension experiments (pruning+quantization, exponent search,
+//! bias granularity, stochastic rounding). Pass `--quick` to scale down.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", af_bench::extensions::run(quick).rendered);
+}

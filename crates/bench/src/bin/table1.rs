@@ -1,0 +1,6 @@
+//! Regenerate the paper's table1. Pass `--quick` for the scaled-down run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", af_bench::table1::run(quick).rendered);
+}

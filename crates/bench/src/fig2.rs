@@ -1,0 +1,63 @@
+//! Figure 2: the zero-assignment trick — a float without denormals has no
+//! zero; AdaptivFloat sacrifices ±min to get one.
+
+use adaptivfloat::table::{figure2_comparison, GridComparison};
+
+/// Figure data plus the rendered listing.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// The two grids.
+    pub comparison: GridComparison,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// Regenerate Figure 2 (the paper draws the `<4,2>` grid at bias −2).
+pub fn run(_quick: bool) -> Fig2 {
+    let comparison = figure2_comparison(4, 2, -2);
+    let mut out = String::from("Figure 2: zero representation in AdaptivFloat\n\n");
+    out.push_str(&format!("{:<34}{}\n", comparison.left_label, comparison.right_label));
+    let pos_left: Vec<f32> = comparison.left.iter().copied().filter(|&v| v > 0.0).collect();
+    let pos_right: Vec<f32> = comparison
+        .right
+        .iter()
+        .copied()
+        .filter(|&v| v >= 0.0)
+        .collect();
+    let rows = pos_left.len().max(pos_right.len());
+    for i in 0..rows {
+        let l = pos_left
+            .get(i)
+            .map(|v| format!("±{v}"))
+            .unwrap_or_default();
+        let r = pos_right
+            .get(i)
+            .map(|v| if *v == 0.0 { "±0".to_string() } else { format!("±{v}") })
+            .unwrap_or_default();
+        out.push_str(&format!("{l:<34}{r}\n"));
+    }
+    Fig2 {
+        comparison,
+        rendered: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn right_grid_has_zero_left_does_not() {
+        let fig = run(false);
+        assert!(!fig.comparison.left.contains(&0.0));
+        assert!(fig.comparison.right.contains(&0.0));
+    }
+
+    #[test]
+    fn rendered_shows_both_columns() {
+        let fig = run(false);
+        assert!(fig.rendered.contains("±0"));
+        assert!(fig.rendered.contains("±0.25")); // the sacrificed value
+        assert!(fig.rendered.contains("±3"));
+    }
+}

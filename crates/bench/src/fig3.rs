@@ -1,0 +1,82 @@
+//! Figure 3: the worked `AdaptivFloat<4,2>` quantization of the paper's
+//! 4×4 example matrix.
+
+use adaptivfloat::{AdaptivFloat, NumberFormat};
+
+/// The paper's example matrix.
+pub const EXAMPLE: [f32; 16] = [
+    -1.17, 2.71, -1.60, 0.43, //
+    -1.14, 2.05, 1.01, 0.07, //
+    0.16, -0.03, -0.89, -0.87, //
+    -0.04, -0.39, 0.64, -2.89,
+];
+
+/// Figure data plus the rendered text.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Derived exponent bias.
+    pub exp_bias: i32,
+    /// Minimum/maximum representable magnitudes.
+    pub value_min: f64,
+    /// Maximum representable magnitude.
+    pub value_max: f64,
+    /// The quantized matrix (row-major).
+    pub quantized: Vec<f32>,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// Regenerate Figure 3.
+pub fn run(_quick: bool) -> Fig3 {
+    let fmt = AdaptivFloat::new(4, 2).expect("<4,2> is valid");
+    let params = fmt.params_for(&EXAMPLE);
+    let quantized = fmt.quantize_slice(&EXAMPLE);
+    let mut out = String::from("Figure 3: AdaptivFloat<4,2> quantization example\n");
+    out.push_str(&format!(
+        "exp_bias = {}, |min| = {}, |max| = {}\n\n",
+        params.exp_bias,
+        params.value_min(),
+        params.value_max()
+    ));
+    out.push_str("W_fp (full precision)              W_adaptiv (quantized)\n");
+    for r in 0..4 {
+        let fp: Vec<String> = (0..4).map(|c| format!("{:>6.2}", EXAMPLE[r * 4 + c])).collect();
+        let q: Vec<String> = (0..4)
+            .map(|c| format!("{:>6}", crate::render::metric(quantized[r * 4 + c] as f64)))
+            .collect();
+        out.push_str(&format!("{}    {}\n", fp.join(" "), q.join(" ")));
+    }
+    Fig3 {
+        exp_bias: params.exp_bias,
+        value_min: params.value_min(),
+        value_max: params.value_max(),
+        quantized,
+        rendered: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_parameters() {
+        let fig = run(false);
+        assert_eq!(fig.exp_bias, -2);
+        assert_eq!(fig.value_min, 0.375);
+        assert_eq!(fig.value_max, 3.0);
+    }
+
+    #[test]
+    fn matches_paper_quantized_matrix() {
+        let fig = run(false);
+        #[rustfmt::skip]
+        let expected = [
+            -1.0, 3.0, -1.5, 0.375,
+            -1.0, 2.0, 1.0, 0.0,
+            0.0, 0.0, -1.0, -0.75,
+            0.0, -0.375, 0.75, -3.0,
+        ];
+        assert_eq!(fig.quantized, expected);
+    }
+}

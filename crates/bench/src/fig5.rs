@@ -1,0 +1,105 @@
+//! Figure 5: the two PE microarchitectures — datapath structure, field
+//! widths, and a bit-accuracy demonstration of each.
+
+use adaptivfloat::{AdaptivFloat, NumberFormat, Uniform};
+use af_hw::arith::{hfint_dot, int_dot_scaled};
+use af_hw::{CostParams, PeConfig, PeKind, PeModel};
+
+/// Figure data plus the rendered text.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// The INT PE model (Figure 5a).
+    pub int_pe: PeModel,
+    /// The HFINT PE model (Figure 5b).
+    pub hfint_pe: PeModel,
+    /// Worst-case absolute error of the bit-accurate INT datapath vs the
+    /// exact quantized dot product.
+    pub int_datapath_error: f64,
+    /// Worst-case absolute error of the bit-accurate HFINT datapath
+    /// (should be exactly zero: integer accumulation is exact).
+    pub hfint_datapath_error: f64,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// Regenerate Figure 5: build both 8-bit PEs, print their structural
+/// bills of materials, and drive both bit-accurate datapaths on a random
+/// dot product.
+pub fn run(_quick: bool) -> Fig5 {
+    let params = CostParams::finfet16();
+    let int_pe = PeModel::new(PeKind::Int, PeConfig::paper(8, 16), &params);
+    let hfint_pe = PeModel::new(PeKind::HfInt, PeConfig::paper(8, 16), &params);
+    // Bit-accurate drive: H = 256 values.
+    let w: Vec<f32> = (0..256).map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.021).collect();
+    let a: Vec<f32> = (0..256).map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.017).collect();
+    // HFINT path.
+    let fmt = AdaptivFloat::new(8, 3).expect("valid");
+    let wp = fmt.params_for(&w);
+    let ap = fmt.params_for(&a);
+    let wq = fmt.quantize_slice(&w);
+    let aq = fmt.quantize_slice(&a);
+    let exact_hf: f64 = wq.iter().zip(&aq).map(|(&x, &y)| x as f64 * y as f64).sum();
+    let wc: Vec<u32> = w.iter().map(|&v| fmt.encode_with(&wp, v)).collect();
+    let ac: Vec<u32> = a.iter().map(|&v| fmt.encode_with(&ap, v)).collect();
+    let (_, got_hf) = hfint_dot(&fmt, &wp, &ap, &wc, &ac);
+    let hfint_datapath_error = (got_hf - exact_hf).abs();
+    // INT path.
+    let uni = Uniform::new(8).expect("valid");
+    let (sw, wl) = uni.quantize_levels(&w);
+    let (sa, al) = uni.quantize_levels(&a);
+    let exact_int: f64 = wl
+        .iter()
+        .zip(&al)
+        .map(|(&x, &y)| x as f64 * sw * y as f64 * sa)
+        .sum();
+    let out_unit = (-10f64).exp2();
+    let (got_int_units, _) = int_dot_scaled(&wl, &al, sw * sa / out_unit, 16);
+    let int_datapath_error = (got_int_units as f64 * out_unit - exact_int).abs();
+    let rendered = format!(
+        "Figure 5: PE microarchitectures\n\n\
+         (a) {} — NVDLA-like integer PE\n{}\n\
+         (b) {} — hybrid float-integer PE\n{}\n\
+         bit-accurate drive (256-element dot product):\n\
+         INT   datapath |error| = {:.3e} (bounded by the output quantum)\n\
+         HFINT datapath |error| = {:.3e} (integer accumulation is exact)\n",
+        int_pe.name(),
+        int_pe.area_bom().to_table(),
+        hfint_pe.name(),
+        hfint_pe.area_bom().to_table(),
+        int_datapath_error,
+        hfint_datapath_error,
+    );
+    Fig5 {
+        int_pe,
+        hfint_pe,
+        int_datapath_error,
+        hfint_datapath_error,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_datapath_names() {
+        let fig = run(false);
+        assert_eq!(fig.int_pe.name(), "INT8/24/40");
+        assert_eq!(fig.hfint_pe.name(), "HFINT8/30");
+    }
+
+    #[test]
+    fn hfint_path_is_exact_int_path_is_bounded() {
+        let fig = run(false);
+        assert!(fig.hfint_datapath_error < 1e-9);
+        assert!(fig.int_datapath_error < 2e-3, "{}", fig.int_datapath_error);
+    }
+
+    #[test]
+    fn boms_mention_key_structures() {
+        let fig = run(false);
+        assert!(fig.rendered.contains("scaling multiplier"));
+        assert!(fig.rendered.contains("mantissa multiplier"));
+    }
+}

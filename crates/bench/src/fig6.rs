@@ -1,0 +1,82 @@
+//! Figure 6: the 4-PE + global-buffer accelerator system and its cycle
+//! schedule on the LSTM workload.
+
+use af_hw::{Accelerator, LstmWorkload, PeKind};
+
+use crate::render::TextTable;
+
+/// Figure data plus the rendered text.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Cycles per LSTM timestep for the 8-bit, K=16 system.
+    pub cycles_per_timestep: u64,
+    /// Compute / broadcast / pipeline split.
+    pub breakdown: (u64, u64, u64),
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// Regenerate Figure 6's system description and schedule.
+pub fn run(_quick: bool) -> Fig6 {
+    let acc = Accelerator::paper_system(PeKind::HfInt, 8, 16);
+    let w = LstmWorkload::paper();
+    let compute = w
+        .macs_per_timestep()
+        .div_ceil(acc.pe().macs_per_cycle() * acc.num_pes() as u64);
+    let broadcast = w.hidden as u64;
+    let total = acc.cycles_per_timestep(&w);
+    let pipeline = total - compute - broadcast;
+    let mut table = TextTable::new(["stage", "cycles/timestep", "role"]);
+    table.row([
+        "PE compute".to_string(),
+        compute.to_string(),
+        "4 PEs × K² MACs/cycle, weight stationary".to_string(),
+    ]);
+    table.row([
+        "GB collect+broadcast".to_string(),
+        broadcast.to_string(),
+        "arbitrated crossbar in, streaming bus out".to_string(),
+    ]);
+    table.row([
+        "pipeline fill/drain".to_string(),
+        pipeline.to_string(),
+        "HLS pipeline latency".to_string(),
+    ]);
+    let rendered = format!(
+        "Figure 6: accelerator system (4 PEs + 1 MB global buffer)\n\
+         per-PE weight buffer: {} KB\n{}\ntotal: {} cycles/timestep\n",
+        acc.weight_buffer_bytes() / 1024,
+        table.render(),
+        total
+    );
+    Fig6 {
+        cycles_per_timestep: total,
+        breakdown: (compute, broadcast, pipeline),
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_decomposes() {
+        let fig = run(false);
+        let (c, b, p) = fig.breakdown;
+        assert_eq!(c + b + p, fig.cycles_per_timestep);
+        assert_eq!(c, 512);
+        assert_eq!(b, 256);
+    }
+
+    #[test]
+    fn hundred_timesteps_land_near_paper_time() {
+        // Paper: 81.2 µs for 100 timesteps at 1 GHz → 812 cycles/step.
+        let fig = run(false);
+        assert!(
+            (700..900).contains(&(fig.cycles_per_timestep as i64)),
+            "{}",
+            fig.cycles_per_timestep
+        );
+    }
+}

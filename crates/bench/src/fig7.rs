@@ -1,0 +1,153 @@
+//! Figure 7: per-operation energy (top) and throughput per unit area
+//! (bottom) of the INT and HFINT PEs across MAC vector sizes.
+
+use af_hw::{CostParams, PeConfig, PeKind, PeModel};
+
+use crate::render::TextTable;
+
+/// One point of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Point {
+    /// Datapath name (`INT4/16/24` …).
+    pub name: String,
+    /// PE kind.
+    pub kind: PeKind,
+    /// Operand width.
+    pub n_bits: u32,
+    /// MAC vector size.
+    pub vector_size: u32,
+    /// Per-operation energy in fJ/op.
+    pub energy_fj_per_op: f64,
+    /// Throughput per datapath area in TOPS/mm².
+    pub perf_per_area: f64,
+    /// The paper's reported per-op energy for this point.
+    pub paper_energy: f64,
+    /// The paper's reported perf/area for this point.
+    pub paper_perf_area: f64,
+}
+
+/// Figure data plus the rendered table.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// All 12 points (2 kinds × 2 widths × 3 vector sizes).
+    pub points: Vec<Fig7Point>,
+    /// Rendered text table.
+    pub rendered: String,
+}
+
+/// The paper's reported values, `(kind, n, K) → (fJ/op, TOPS/mm²)`.
+pub fn paper_value(kind: PeKind, n: u32, k: u32) -> (f64, f64) {
+    match (kind, n, k) {
+        (PeKind::Int, 4, 4) => (127.00, 1.31),
+        (PeKind::Int, 4, 8) => (59.75, 2.28),
+        (PeKind::Int, 4, 16) => (30.36, 3.90),
+        (PeKind::HfInt, 4, 4) => (123.12, 1.26),
+        (PeKind::HfInt, 4, 8) => (56.39, 2.10),
+        (PeKind::HfInt, 4, 16) => (27.77, 3.42),
+        (PeKind::Int, 8, 4) => (227.61, 1.11),
+        (PeKind::Int, 8, 8) => (105.80, 1.59),
+        (PeKind::Int, 8, 16) => (52.21, 2.25),
+        (PeKind::HfInt, 8, 4) => (205.27, 1.02),
+        (PeKind::HfInt, 8, 8) => (98.38, 1.39),
+        (PeKind::HfInt, 8, 16) => (46.88, 1.86),
+        _ => panic!("not a Figure 7 point: {kind:?} n={n} K={k}"),
+    }
+}
+
+/// Regenerate Figure 7.
+pub fn run(_quick: bool) -> Fig7 {
+    let params = CostParams::finfet16();
+    let mut points = Vec::new();
+    let mut table = TextTable::new([
+        "datapath",
+        "K",
+        "fJ/op",
+        "paper fJ/op",
+        "TOPS/mm²",
+        "paper TOPS/mm²",
+    ]);
+    for n in [4u32, 8] {
+        for kind in [PeKind::Int, PeKind::HfInt] {
+            for k in [4u32, 8, 16] {
+                let pe = PeModel::new(kind, PeConfig::paper(n, k), &params);
+                let (pe_e, pe_pa) = (pe.energy_per_op_fj(), pe.perf_per_area());
+                let (paper_e, paper_pa) = paper_value(kind, n, k);
+                table.row([
+                    pe.name(),
+                    k.to_string(),
+                    format!("{pe_e:.2}"),
+                    format!("{paper_e:.2}"),
+                    format!("{pe_pa:.2}"),
+                    format!("{paper_pa:.2}"),
+                ]);
+                points.push(Fig7Point {
+                    name: pe.name(),
+                    kind,
+                    n_bits: n,
+                    vector_size: k,
+                    energy_fj_per_op: pe_e,
+                    perf_per_area: pe_pa,
+                    paper_energy: paper_e,
+                    paper_perf_area: paper_pa,
+                });
+            }
+        }
+    }
+    Fig7 {
+        points,
+        rendered: format!(
+            "Figure 7: per-op energy and perf/area vs MAC vector size\n{}",
+            table.render()
+        ),
+    }
+}
+
+impl Fig7 {
+    /// Look up one point.
+    pub fn point(&self, kind: PeKind, n: u32, k: u32) -> &Fig7Point {
+        self.points
+            .iter()
+            .find(|p| p.kind == kind && p.n_bits == n && p.vector_size == k)
+            .expect("point exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hfint_wins_energy_everywhere() {
+        let fig = run(false);
+        for n in [4, 8] {
+            for k in [4, 8, 16] {
+                let i = fig.point(PeKind::Int, n, k).energy_fj_per_op;
+                let h = fig.point(PeKind::HfInt, n, k).energy_fj_per_op;
+                assert!(h <= i * 1.01, "n={n} K={k}: HFINT {h} vs INT {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_wins_density_everywhere() {
+        let fig = run(false);
+        for n in [4, 8] {
+            for k in [4, 8, 16] {
+                let i = fig.point(PeKind::Int, n, k).perf_per_area;
+                let h = fig.point(PeKind::HfInt, n, k).perf_per_area;
+                assert!(i >= h, "n={n} K={k}: INT {i} vs HFINT {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_2x_of_paper_everywhere() {
+        let fig = run(false);
+        for p in &fig.points {
+            let re = p.energy_fj_per_op / p.paper_energy;
+            let rp = p.perf_per_area / p.paper_perf_area;
+            assert!((0.5..2.0).contains(&re), "{}: energy ratio {re}", p.name);
+            assert!((0.5..2.0).contains(&rp), "{}: perf/area ratio {rp}", p.name);
+        }
+    }
+}

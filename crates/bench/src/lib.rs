@@ -1,0 +1,70 @@
+//! # af-bench — the experiment harness
+//!
+//! One module per table/figure of the paper. Each exposes a `run(quick)`
+//! function returning both structured data and a rendered text table, so
+//! the same code backs the `src/bin/*` regenerators, the Criterion
+//! benches, and the integration tests.
+//!
+//! `quick = true` scales training steps and evaluation sizes down for CI
+//! and benches; `quick = false` is the configuration recorded in
+//! EXPERIMENTS.md.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod render;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// Training/evaluation budgets for the three model families.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// FP32 training steps: (transformer, seq2seq, resnet).
+    pub fp32_steps: (usize, usize, usize),
+    /// QAR fine-tuning steps: (transformer, seq2seq, resnet).
+    pub qar_steps: (usize, usize, usize),
+    /// Evaluation set sizes: (transformer, seq2seq, resnet).
+    pub eval_samples: (usize, usize, usize),
+}
+
+impl Budget {
+    /// The full budget recorded in EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Budget {
+            fp32_steps: (400, 1500, 200),
+            qar_steps: (120, 400, 60),
+            eval_samples: (24, 24, 120),
+        }
+    }
+
+    /// A scaled-down budget for benches and CI. The FP32 budgets sit just
+    /// past each model's convergence knee (the Transformer needs ~250
+    /// steps before BLEU takes off; the seq2seq ~800 before WER drops).
+    pub fn quick() -> Self {
+        Budget {
+            fp32_steps: (300, 800, 80),
+            qar_steps: (60, 150, 25),
+            eval_samples: (12, 12, 50),
+        }
+    }
+
+    /// Pick by flag.
+    pub fn for_mode(quick: bool) -> Self {
+        if quick {
+            Budget::quick()
+        } else {
+            Budget::full()
+        }
+    }
+}

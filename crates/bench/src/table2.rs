@@ -1,0 +1,167 @@
+//! Table 2: impact of weight bit compression — post-training quantization
+//! (PTQ) and quantization-aware retraining (QAR) across five formats and
+//! six word sizes on the three models.
+
+use adaptivfloat::FormatKind;
+use af_models::model::retrain_quantized;
+use af_models::ModelFamily;
+use af_nn::QuantSpec;
+
+use crate::render::{metric, TextTable};
+use crate::table1::{build, eval_samples, fp32_steps, qar_steps};
+use crate::Budget;
+
+/// One cell: PTQ and QAR metrics for (family, format, bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Cell {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Number format.
+    pub format: FormatKind,
+    /// Weight word size.
+    pub bits: u32,
+    /// Metric after post-training quantization.
+    pub ptq: f64,
+    /// Metric after quantization-aware retraining.
+    pub qar: f64,
+}
+
+/// Table data plus the rendered text.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// FP32 reference metric per family.
+    pub fp32: Vec<(ModelFamily, f64)>,
+    /// All cells.
+    pub cells: Vec<Table2Cell>,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// The word sizes of the paper's Table 2 (or a subset in quick mode).
+pub fn bit_widths(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![8, 6, 4]
+    } else {
+        vec![16, 8, 7, 6, 5, 4]
+    }
+}
+
+/// Families to sweep (quick mode keeps all three — the table is the
+/// paper's centerpiece — but on reduced budgets).
+pub fn families() -> [ModelFamily; 3] {
+    [
+        ModelFamily::Transformer,
+        ModelFamily::Seq2Seq,
+        ModelFamily::ResNet,
+    ]
+}
+
+/// Regenerate Table 2.
+pub fn run(quick: bool) -> Table2 {
+    let budget = Budget::for_mode(quick);
+    let mut fp32 = Vec::new();
+    let mut cells = Vec::new();
+    let mut table = TextTable::new([
+        "model", "#bits", "Float", "BFP", "Uniform", "Posit", "AdaptivFloat",
+    ]);
+    for family in families() {
+        let mut model = build(family, 42);
+        model.train_steps(fp32_steps(&budget, family));
+        let samples = eval_samples(&budget, family);
+        let baseline = model.evaluate(samples);
+        fp32.push((family, baseline));
+        let snapshot = model.snapshot();
+        for bits in bit_widths(quick) {
+            let mut row = vec![format!("{family}"), bits.to_string()];
+            for format in FormatKind::ALL {
+                let spec = QuantSpec::new(format, bits);
+                // PTQ: restore FP32 weights, quantize in place, evaluate.
+                model.restore(&snapshot);
+                model.reset_optimizer();
+                model.set_weight_quantizer(None);
+                model.quantize_weights_ptq(spec).expect("valid spec");
+                let ptq = model.evaluate(samples);
+                // QAR: restore, install fake-quant, fine-tune, evaluate.
+                model.restore(&snapshot);
+                model.reset_optimizer();
+                retrain_quantized(model.as_mut(), spec, qar_steps(&budget, family))
+                    .expect("valid spec");
+                let qar = model.evaluate(samples);
+                model.set_weight_quantizer(None);
+                row.push(format!("{} / {}", metric(ptq), metric(qar)));
+                cells.push(Table2Cell {
+                    family,
+                    format,
+                    bits,
+                    ptq,
+                    qar,
+                });
+            }
+            table.row(row);
+        }
+    }
+    let mut rendered = String::from(
+        "Table 2: weight bit compression, PTQ / QAR (post-training / retrained)\n",
+    );
+    for (family, v) in &fp32 {
+        rendered.push_str(&format!("FP32 {} {} = {}\n", family, family.metric(), metric(*v)));
+    }
+    rendered.push_str(&table.render());
+    Table2 {
+        fp32,
+        cells,
+        rendered,
+    }
+}
+
+impl Table2 {
+    /// Look up one cell.
+    pub fn cell(&self, family: ModelFamily, format: FormatKind, bits: u32) -> &Table2Cell {
+        self.cells
+            .iter()
+            .find(|c| c.family == family && c.format == format && c.bits == bits)
+            .expect("cell exists")
+    }
+
+    /// The FP32 baseline of a family.
+    pub fn baseline(&self, family: ModelFamily) -> f64 {
+        self.fp32
+            .iter()
+            .find(|(f, _)| *f == family)
+            .map(|(_, v)| *v)
+            .expect("family present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Score a metric so higher is always better.
+    fn goodness(family: ModelFamily, v: f64) -> f64 {
+        if family.higher_is_better() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    #[test]
+    #[ignore = "several minutes of training; run with --ignored"]
+    fn adaptivfloat_wins_at_4bit() {
+        let t = run(true);
+        for family in families() {
+            let af = goodness(family, t.cell(family, FormatKind::AdaptivFloat, 4).qar);
+            for other in [FormatKind::Float, FormatKind::Bfp, FormatKind::Uniform, FormatKind::Posit] {
+                let o = goodness(family, t.cell(family, other, 4).qar);
+                assert!(af >= o, "{family}: AdaptivFloat {af} vs {other} {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_width_lists() {
+        assert_eq!(bit_widths(false).len(), 6);
+        assert_eq!(bit_widths(true), vec![8, 6, 4]);
+    }
+}

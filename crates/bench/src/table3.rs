@@ -1,0 +1,120 @@
+//! Table 3: joint weight *and* activation quantization (W8/A8, W6/A6,
+//! W4/A4), measured after quantization-aware retraining. Activation
+//! ranges come from each layer's running observer (offline statistics),
+//! as in the paper.
+
+use adaptivfloat::FormatKind;
+use af_models::ModelFamily;
+use af_nn::QuantSpec;
+
+use crate::render::{metric, TextTable};
+use crate::table1::{build, eval_samples, fp32_steps, qar_steps};
+use crate::table2::families;
+use crate::Budget;
+
+/// One cell: the QAR metric at Wn/An for (family, format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Cell {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Number format.
+    pub format: FormatKind,
+    /// Word size for both weights and activations.
+    pub bits: u32,
+    /// Metric after QAR with weight+activation quantization.
+    pub qar: f64,
+}
+
+/// Table data plus the rendered text.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// All cells.
+    pub cells: Vec<Table3Cell>,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// The Wn/An settings of the paper (quick mode drops none — there are
+/// only three).
+pub fn bit_widths() -> [u32; 3] {
+    [8, 6, 4]
+}
+
+/// Regenerate Table 3.
+pub fn run(quick: bool) -> Table3 {
+    let budget = Budget::for_mode(quick);
+    let mut cells = Vec::new();
+    let mut table = TextTable::new([
+        "model", "W/A", "Float", "BFP", "Uniform", "Posit", "AdaptivFloat",
+    ]);
+    for family in families() {
+        let mut model = build(family, 42);
+        model.train_steps(fp32_steps(&budget, family));
+        let samples = eval_samples(&budget, family);
+        let snapshot = model.snapshot();
+        for bits in bit_widths() {
+            let mut row = vec![format!("{family}"), format!("W{bits}/A{bits}")];
+            for format in FormatKind::ALL {
+                let spec = QuantSpec::new(format, bits);
+                model.restore(&snapshot);
+                model.reset_optimizer();
+                let quantizer = spec.build().expect("valid spec");
+                model.set_weight_quantizer(Some(quantizer.clone()));
+                model.set_act_quantizer(Some(quantizer));
+                model.train_steps(qar_steps(&budget, family));
+                let qar = model.evaluate(samples);
+                model.set_weight_quantizer(None);
+                model.set_act_quantizer(None);
+                row.push(metric(qar));
+                cells.push(Table3Cell {
+                    family,
+                    format,
+                    bits,
+                    qar,
+                });
+            }
+            table.row(row);
+        }
+    }
+    Table3 {
+        cells,
+        rendered: format!(
+            "Table 3: weight + activation quantization, after QAR\n{}",
+            table.render()
+        ),
+    }
+}
+
+impl Table3 {
+    /// Look up one cell.
+    pub fn cell(&self, family: ModelFamily, format: FormatKind, bits: u32) -> &Table3Cell {
+        self.cells
+            .iter()
+            .find(|c| c.family == family && c.format == format && c.bits == bits)
+            .expect("cell exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "several minutes of training; run with --ignored"]
+    fn adaptivfloat_w8a8_close_to_baseline() {
+        let t = run(true);
+        for family in families() {
+            let v = t.cell(family, FormatKind::AdaptivFloat, 8).qar;
+            match family {
+                ModelFamily::Transformer => assert!(v > 60.0, "BLEU {v}"),
+                ModelFamily::Seq2Seq => assert!(v < 60.0, "WER {v}"),
+                ModelFamily::ResNet => assert!(v > 70.0, "Top-1 {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn three_settings() {
+        assert_eq!(bit_widths(), [8, 6, 4]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 4: PPA of the 8-bit INT and HFINT accelerators on 100 LSTM
+//! timesteps.
+
+use af_hw::{Accelerator, AcceleratorReport, LstmWorkload, PeKind};
+
+use crate::render::TextTable;
+
+/// Table data plus the rendered text.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// The INT accelerator row.
+    pub int: AcceleratorReport,
+    /// The HFINT accelerator row.
+    pub hfint: AcceleratorReport,
+    /// Rendered text.
+    pub rendered: String,
+}
+
+/// Regenerate Table 4 (4 PEs, K = 16, 8-bit operands).
+pub fn run(_quick: bool) -> Table4 {
+    let workload = LstmWorkload::paper();
+    let int = Accelerator::paper_system(PeKind::Int, 8, 16).run(&workload);
+    let hfint = Accelerator::paper_system(PeKind::HfInt, 8, 16).run(&workload);
+    let mut table = TextTable::new([
+        "accelerator",
+        "power (mW)",
+        "area (mm²)",
+        "time 100 steps (µs)",
+        "paper power",
+        "paper area",
+        "paper time",
+    ]);
+    table.row([
+        format!("4× {} PEs", int.name),
+        format!("{:.2}", int.power_mw),
+        format!("{:.2}", int.area_mm2),
+        format!("{:.1}", int.time_us),
+        "61.38".to_string(),
+        "6.9".to_string(),
+        "81.2".to_string(),
+    ]);
+    table.row([
+        format!("4× {} PEs", hfint.name),
+        format!("{:.2}", hfint.power_mw),
+        format!("{:.2}", hfint.area_mm2),
+        format!("{:.1}", hfint.time_us),
+        "56.22".to_string(),
+        "7.9".to_string(),
+        "81.2".to_string(),
+    ]);
+    let rendered = format!(
+        "Table 4: 8-bit accelerator PPA on 100 LSTM timesteps (256 hidden)\n{}\
+         ratios (HFINT/INT): power {:.3}, area {:.3} (paper: 0.92, 1.14)\n",
+        table.render(),
+        hfint.power_mw / int.power_mw,
+        hfint.area_mm2 / int.area_mm2,
+    );
+    Table4 {
+        int,
+        hfint,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_holds() {
+        let t = run(false);
+        assert_eq!(t.int.time_us, t.hfint.time_us);
+        assert!(t.hfint.power_mw < t.int.power_mw);
+        assert!(t.hfint.area_mm2 > t.int.area_mm2);
+    }
+
+    #[test]
+    fn magnitudes_near_paper() {
+        let t = run(false);
+        assert!((40.0..160.0).contains(&t.int.power_mw), "{}", t.int.power_mw);
+        assert!((3.0..12.0).contains(&t.int.area_mm2), "{}", t.int.area_mm2);
+        assert!((60.0..110.0).contains(&t.int.time_us), "{}", t.int.time_us);
+    }
+}

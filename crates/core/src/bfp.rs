@@ -1,0 +1,268 @@
+//! Block floating-point (BFP): a shared exponent per block with fixed-point
+//! mantissas, as used by Flexpoint and the Brainwave NPU.
+//!
+//! Every element of a block is stored as a signed `(n−1)`-bit mantissa
+//! scaled by `2^(E − n + 3)` where `E = floor(log2(max|block|))`. Collapsing
+//! each element's exponent to the block maximum is what makes BFP cheap in
+//! hardware — and what degrades small-magnitude elements, the weakness the
+//! paper demonstrates on wide NLP weight distributions.
+
+use crate::error::FormatError;
+use crate::format::NumberFormat;
+use crate::util::{exp2, floor_log2};
+
+/// Block floating-point format descriptor.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::{BlockFloat, NumberFormat};
+///
+/// # fn main() -> Result<(), adaptivfloat::FormatError> {
+/// // Per-tensor shared exponent (the paper's configuration).
+/// let fmt = BlockFloat::new(8)?;
+/// let q = fmt.quantize_slice(&[1.0, 0.001, -0.5]);
+/// // The large value survives; the tiny one is crushed to the grid.
+/// assert!((q[0] - 1.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockFloat {
+    n: u32,
+    /// Elements sharing one exponent; `None` = the whole tensor.
+    block: Option<usize>,
+}
+
+impl BlockFloat {
+    /// Per-tensor shared exponent with `n`-bit words (1 sign bit,
+    /// `n − 1` mantissa bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] unless `2 ≤ n ≤ 32`.
+    pub fn new(n: u32) -> Result<Self, FormatError> {
+        if !(2..=32).contains(&n) {
+            return Err(FormatError::InvalidBits {
+                n,
+                e: 0,
+                reason: "block float word size must be between 2 and 32 bits",
+            });
+        }
+        Ok(BlockFloat { n, block: None })
+    }
+
+    /// Shared exponent per `block_size` consecutive elements instead of per
+    /// tensor (used by the block-size ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if `n` is out of range or
+    /// `block_size` is zero.
+    pub fn with_block_size(n: u32, block_size: usize) -> Result<Self, FormatError> {
+        if block_size == 0 {
+            return Err(FormatError::InvalidBits {
+                n,
+                e: 0,
+                reason: "block size must be at least 1",
+            });
+        }
+        let mut f = Self::new(n)?;
+        f.block = Some(block_size);
+        Ok(f)
+    }
+
+    /// Word size in bits.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Block size (`None` means per-tensor).
+    pub fn block_size(&self) -> Option<usize> {
+        self.block
+    }
+
+    /// The shared exponent a block with maximum magnitude `max_abs` gets.
+    pub fn shared_exponent(max_abs: f32) -> i32 {
+        if max_abs == 0.0 {
+            0
+        } else {
+            floor_log2(max_abs as f64)
+        }
+    }
+
+    /// Quantize one block in place.
+    fn quantize_block(&self, block: &mut [f32]) {
+        let max_abs = block
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        if max_abs == 0.0 {
+            block.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        let e = Self::shared_exponent(max_abs);
+        // Mantissa grid: signed (n−1)-bit integers at scale 2^(E − n + 3),
+        // so the top magnitude 2^(E+1) maps to the extreme mantissa.
+        let scale = exp2(e - self.n as i32 + 3);
+        let mant_max = (1i64 << (self.n - 2)) - 1;
+        for v in block.iter_mut() {
+            if v.is_nan() {
+                *v = 0.0;
+                continue;
+            }
+            let q = ((*v as f64) / scale).round() as i64;
+            let q = q.clamp(-mant_max, mant_max);
+            *v = (q as f64 * scale) as f32;
+        }
+    }
+
+    /// Quantize, also returning the shared exponent of each block (what a
+    /// hardware implementation stores alongside the mantissas).
+    pub fn quantize_with_exponents(&self, data: &[f32]) -> (Vec<f32>, Vec<i32>) {
+        let mut out = data.to_vec();
+        let block_len = self.block.unwrap_or(data.len().max(1));
+        let mut exps = Vec::new();
+        for chunk in out.chunks_mut(block_len) {
+            let max_abs = chunk
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(0.0f32, |acc, v| acc.max(v.abs()));
+            exps.push(Self::shared_exponent(max_abs));
+            self.quantize_block(chunk);
+        }
+        (out, exps)
+    }
+}
+
+impl NumberFormat for BlockFloat {
+    fn name(&self) -> String {
+        match self.block {
+            Some(b) => format!("BFP<{}>/block{}", self.n, b),
+            None => format!("BFP<{}>", self.n),
+        }
+    }
+
+    fn bits(&self) -> u32 {
+        self.n
+    }
+
+    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+        self.quantize_with_exponents(data).0
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+
+    fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
+        if max_abs == 0.0 {
+            return vec![0.0; data.len()];
+        }
+        let e = Self::shared_exponent(max_abs);
+        let scale = exp2(e - self.n as i32 + 3);
+        let mant_max = (1i64 << (self.n - 2)) - 1;
+        data.iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    return 0.0;
+                }
+                let q = ((v as f64) / scale).round() as i64;
+                (q.clamp(-mant_max, mant_max) as f64 * scale) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_magnitude_survives() {
+        let fmt = BlockFloat::new(8).unwrap();
+        let q = fmt.quantize_slice(&[3.7, 0.1, -1.0]);
+        assert!((q[0] - 3.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn small_values_crushed_by_wide_range() {
+        // With max 100 and 8-bit words the grid step is ~1.56; a value of
+        // 0.4 is crushed to 0 — BFP's documented weakness.
+        let fmt = BlockFloat::new(8).unwrap();
+        let q = fmt.quantize_slice(&[100.0, 0.4]);
+        assert_eq!(q[1], 0.0);
+    }
+
+    #[test]
+    fn grid_step_matches_formula() {
+        let fmt = BlockFloat::new(8).unwrap();
+        // max 1.0 → E=0 → scale 2^(0−8+3) = 2^−5 = 0.03125.
+        let q = fmt.quantize_slice(&[1.0, 0.03125, 0.046875]);
+        assert_eq!(q[1], 0.03125);
+        // 0.046875 = 1.5 steps → rounds away to 2 steps = 0.0625.
+        assert_eq!(q[2], 0.0625);
+    }
+
+    #[test]
+    fn symmetric_clamping() {
+        let fmt = BlockFloat::new(4).unwrap();
+        // 4-bit: mantissas in [−3, 3] at scale 2^(E−1).
+        let q = fmt.quantize_slice(&[1.0, -1.0]);
+        assert_eq!(q[0], -q[1]);
+    }
+
+    #[test]
+    fn per_block_exponents_differ() {
+        let fmt = BlockFloat::with_block_size(8, 2).unwrap();
+        let (_, exps) = fmt.quantize_with_exponents(&[8.0, 1.0, 0.5, 0.25]);
+        assert_eq!(exps, vec![3, -1]);
+    }
+
+    #[test]
+    fn per_block_beats_per_tensor_on_bimodal_data() {
+        use crate::rms_error;
+        // Two populations of very different magnitude: a per-row shared
+        // exponent renders the small block far better.
+        let mut data = vec![50.0f32; 8];
+        data.extend(std::iter::repeat(0.05f32).take(8));
+        let per_tensor = BlockFloat::new(8).unwrap().quantize_slice(&data);
+        let per_block = BlockFloat::with_block_size(8, 8)
+            .unwrap()
+            .quantize_slice(&data);
+        assert!(rms_error(&data, &per_block) < rms_error(&data, &per_tensor));
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let fmt = BlockFloat::new(8).unwrap();
+        assert_eq!(fmt.quantize_slice(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_and_inf_handling() {
+        let fmt = BlockFloat::new(8).unwrap();
+        let q = fmt.quantize_slice(&[1.0, f32::NAN, f32::INFINITY]);
+        assert_eq!(q[1], 0.0);
+        // Infinity saturates to the mantissa clamp.
+        assert!(q[2].is_finite());
+    }
+
+    #[test]
+    fn idempotent() {
+        let fmt = BlockFloat::new(6).unwrap();
+        let data: Vec<f32> = (-40..40).map(|i| i as f32 * 0.13).collect();
+        let q1 = fmt.quantize_slice(&data);
+        let q2 = fmt.quantize_slice(&q1);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(BlockFloat::new(1).is_err());
+        assert!(BlockFloat::new(33).is_err());
+        assert!(BlockFloat::with_block_size(8, 0).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-block AdaptivFloat — an extension beyond the paper's per-layer
+//! granularity.
+//!
+//! The paper adapts the exponent bias per layer; finer granularity (per
+//! output channel / per row / per fixed-size block) buys extra accuracy
+//! for a few more 4-bit bias registers. This module provides that
+//! generalization and is exercised by the `ablations` experiment.
+
+use crate::adaptiv::AdaptivFloat;
+use crate::error::FormatError;
+use crate::format::NumberFormat;
+
+/// AdaptivFloat with a per-block exponent bias.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::block_adaptiv::BlockAdaptivFloat;
+/// use adaptivfloat::NumberFormat;
+///
+/// # fn main() -> Result<(), adaptivfloat::FormatError> {
+/// let fmt = BlockAdaptivFloat::new(8, 3, 64)?;
+/// let data = vec![0.5_f32; 130];
+/// assert_eq!(fmt.quantize_slice(&data).len(), 130);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAdaptivFloat {
+    inner: AdaptivFloat,
+    block_size: usize,
+}
+
+impl BlockAdaptivFloat {
+    /// `<n, e>` AdaptivFloat with one exponent bias per `block_size`
+    /// consecutive elements (the trailing block may be shorter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the `<n, e>` geometry is
+    /// invalid or `block_size` is zero.
+    pub fn new(n: u32, e: u32, block_size: usize) -> Result<Self, FormatError> {
+        if block_size == 0 {
+            return Err(FormatError::InvalidBits {
+                n,
+                e,
+                reason: "block size must be at least 1",
+            });
+        }
+        Ok(BlockAdaptivFloat {
+            inner: AdaptivFloat::new(n, e)?,
+            block_size,
+        })
+    }
+
+    /// Elements sharing one exponent bias.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The underlying scalar format.
+    pub fn scalar_format(&self) -> &AdaptivFloat {
+        &self.inner
+    }
+
+    /// Quantize, also returning the per-block exponent biases (what the
+    /// hardware stores in its 4-bit registers — one per block).
+    pub fn quantize_with_biases(&self, data: &[f32]) -> (Vec<f32>, Vec<i32>) {
+        let mut out = Vec::with_capacity(data.len());
+        let mut biases = Vec::new();
+        for chunk in data.chunks(self.block_size) {
+            let params = self.inner.params_for(chunk);
+            biases.push(params.exp_bias);
+            out.extend(chunk.iter().map(|&v| self.inner.quantize_with(&params, v)));
+        }
+        (out, biases)
+    }
+
+    /// Metadata overhead in bits per element (4-bit bias per block).
+    pub fn overhead_bits_per_element(&self) -> f64 {
+        4.0 / self.block_size as f64
+    }
+}
+
+impl NumberFormat for BlockAdaptivFloat {
+    fn name(&self) -> String {
+        format!(
+            "AdaptivFloat<{},{}>/block{}",
+            self.inner.n(),
+            self.inner.e(),
+            self.block_size
+        )
+    }
+
+    fn bits(&self) -> u32 {
+        self.inner.n()
+    }
+
+    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+        self.quantize_with_biases(data).0
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rms_error;
+
+    #[test]
+    fn per_block_never_worse_much_and_better_on_multiscale() {
+        // Two populations at very different scales, interleaved in blocks.
+        let mut data = vec![0.01f32; 128];
+        data.extend(std::iter::repeat(5.0f32).take(128));
+        let per_layer = AdaptivFloat::new(6, 3).unwrap();
+        let per_block = BlockAdaptivFloat::new(6, 3, 128).unwrap();
+        let e_layer = rms_error(&data, &per_layer.quantize_slice(&data));
+        let e_block = rms_error(&data, &per_block.quantize_slice(&data));
+        assert!(e_block <= e_layer, "{e_block} vs {e_layer}");
+    }
+
+    #[test]
+    fn biases_reflect_block_magnitudes() {
+        let fmt = BlockAdaptivFloat::new(8, 3, 4).unwrap();
+        let data = [8.0f32, 1.0, 1.0, 1.0, 0.25, 0.1, 0.1, 0.1];
+        let (_, biases) = fmt.quantize_with_biases(&data);
+        assert_eq!(biases.len(), 2);
+        // Block maxima 8.0 (exp 3) and 0.25 (exp −2): biases differ by 5.
+        assert_eq!(biases[0] - biases[1], 5);
+    }
+
+    #[test]
+    fn block_size_one_is_lossless_on_magnitude() {
+        // One bias per element → every element sits in its own top binade;
+        // the only error left is the mantissa rounding.
+        let fmt = BlockAdaptivFloat::new(8, 3, 1).unwrap();
+        let data: Vec<f32> = (1..100).map(|i| i as f32 * 0.173).collect();
+        let q = fmt.quantize_slice(&data);
+        for (&orig, &quant) in data.iter().zip(&q) {
+            let rel = ((orig - quant) / orig).abs();
+            assert!(rel < 0.05, "rel err {rel} for {orig}");
+        }
+    }
+
+    #[test]
+    fn trailing_partial_block() {
+        let fmt = BlockAdaptivFloat::new(8, 3, 64).unwrap();
+        let data = vec![1.0f32; 70];
+        let (q, biases) = fmt.quantize_with_biases(&data);
+        assert_eq!(q.len(), 70);
+        assert_eq!(biases.len(), 2);
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let fmt = BlockAdaptivFloat::new(8, 3, 64).unwrap();
+        assert_eq!(fmt.overhead_bits_per_element(), 0.0625);
+    }
+
+    #[test]
+    fn rejects_zero_block() {
+        assert!(BlockAdaptivFloat::new(8, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for format construction and quantization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a number format cannot be constructed or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// The requested bit allocation is impossible, e.g. more exponent bits
+    /// than the word can hold once the sign bit is accounted for.
+    InvalidBits {
+        /// Total word size requested.
+        n: u32,
+        /// Exponent (or `es`, or fractional) bits requested.
+        e: u32,
+        /// Human-readable explanation of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// The input slice contained a NaN or infinity where a finite value was
+    /// required by a checked API.
+    NonFinite {
+        /// Index of the first offending element.
+        index: usize,
+    },
+    /// The input tensor was empty but the operation needs at least one
+    /// element (e.g. to derive an exponent bias).
+    EmptyTensor,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::InvalidBits { n, e, reason } => {
+                write!(f, "invalid bit allocation n={n}, e={e}: {reason}")
+            }
+            FormatError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
+            FormatError::EmptyTensor => write!(f, "empty tensor"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = FormatError::InvalidBits {
+            n: 4,
+            e: 9,
+            reason: "exponent field exceeds word",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("n=4"));
+        assert!(msg.contains("e=9"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+
+    #[test]
+    fn non_finite_reports_index() {
+        let err = FormatError::NonFinite { index: 7 };
+        assert!(err.to_string().contains('7'));
+    }
+}

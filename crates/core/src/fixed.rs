@@ -1,0 +1,158 @@
+//! Classic Qi.f fixed-point — the conventional hardware baseline the
+//! paper's introduction argues against at low precision.
+
+use crate::error::FormatError;
+use crate::format::NumberFormat;
+use crate::util::exp2;
+
+/// Fixed-point format with `n` total bits: 1 sign bit, `i` integer bits
+/// and `f = n − 1 − i` fractional bits, two's-complement, saturating.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::{FixedPoint, NumberFormat};
+///
+/// # fn main() -> Result<(), adaptivfloat::FormatError> {
+/// // Q2.5 in an 8-bit word.
+/// let fmt = FixedPoint::new(8, 2)?;
+/// assert_eq!(fmt.quantize_slice(&[1.5])[0], 1.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedPoint {
+    n: u32,
+    int_bits: u32,
+}
+
+impl FixedPoint {
+    /// Create an `n`-bit fixed-point format with `int_bits` integer bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] unless `2 ≤ n ≤ 32` and
+    /// `int_bits ≤ n − 1`.
+    pub fn new(n: u32, int_bits: u32) -> Result<Self, FormatError> {
+        if !(2..=32).contains(&n) {
+            return Err(FormatError::InvalidBits {
+                n,
+                e: int_bits,
+                reason: "fixed-point word size must be between 2 and 32 bits",
+            });
+        }
+        if int_bits > n - 1 {
+            return Err(FormatError::InvalidBits {
+                n,
+                e: int_bits,
+                reason: "integer bits must leave room for the sign bit",
+            });
+        }
+        Ok(FixedPoint { n, int_bits })
+    }
+
+    /// Word size in bits.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Integer bits (excluding sign).
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Fractional bits, `n − 1 − int_bits`.
+    pub fn frac_bits(&self) -> u32 {
+        self.n - 1 - self.int_bits
+    }
+
+    /// The quantization step, `2^−f`.
+    pub fn step(&self) -> f64 {
+        exp2(-(self.frac_bits() as i32))
+    }
+
+    /// Largest representable value, `2^i − 2^−f`.
+    pub fn value_max(&self) -> f64 {
+        exp2(self.int_bits as i32) - self.step()
+    }
+
+    /// Quantize one value (round to nearest step, saturate symmetrically).
+    /// NaN maps to `0.0`.
+    pub fn quantize_value(&self, v: f32) -> f32 {
+        if v.is_nan() {
+            return 0.0;
+        }
+        let step = self.step();
+        let vmax = self.value_max();
+        let q = ((v as f64) / step).round() * step;
+        (q.clamp(-vmax, vmax)) as f32
+    }
+}
+
+impl NumberFormat for FixedPoint {
+    fn name(&self) -> String {
+        format!("Fixed<Q{}.{}>", self.int_bits, self.frac_bits())
+    }
+
+    fn bits(&self) -> u32 {
+        self.n
+    }
+
+    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+        data.iter().map(|&v| self.quantize_value(v)).collect()
+    }
+
+    fn is_adaptive(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q2_5_geometry() {
+        let fmt = FixedPoint::new(8, 2).unwrap();
+        assert_eq!(fmt.frac_bits(), 5);
+        assert_eq!(fmt.step(), 0.03125);
+        assert_eq!(fmt.value_max(), 4.0 - 0.03125);
+    }
+
+    #[test]
+    fn grid_values_exact() {
+        let fmt = FixedPoint::new(8, 2).unwrap();
+        for k in -20..20 {
+            let v = k as f32 * 0.03125;
+            assert_eq!(fmt.quantize_value(v), v);
+        }
+    }
+
+    #[test]
+    fn saturation_symmetric() {
+        let fmt = FixedPoint::new(8, 2).unwrap();
+        let vmax = fmt.value_max() as f32;
+        assert_eq!(fmt.quantize_value(100.0), vmax);
+        assert_eq!(fmt.quantize_value(-100.0), -vmax);
+    }
+
+    #[test]
+    fn fixed_range_fails_on_wide_data() {
+        // Q2.5 saturates far below Transformer-scale weights.
+        let fmt = FixedPoint::new(8, 2).unwrap();
+        assert!(fmt.quantize_value(20.41) < 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(FixedPoint::new(8, 8).is_err());
+        assert!(FixedPoint::new(1, 0).is_err());
+        assert!(FixedPoint::new(8, 7).is_ok());
+    }
+
+    #[test]
+    fn nan_to_zero() {
+        let fmt = FixedPoint::new(8, 2).unwrap();
+        assert_eq!(fmt.quantize_value(f32::NAN), 0.0);
+    }
+}

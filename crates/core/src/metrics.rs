@@ -1,0 +1,154 @@
+//! Quantization-error metrics used by the paper's Figure 4 evaluation.
+
+/// Root-mean-square error between a reference tensor and its quantized
+/// rendering — the per-layer statistic of the paper's Figure 4.
+///
+/// Returns `0.0` for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::rms_error;
+///
+/// let err = rms_error(&[1.0, 2.0], &[1.0, 2.5]);
+/// assert!((err - 0.3535).abs() < 1e-3);
+/// ```
+pub fn rms_error(reference: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        quantized.len(),
+        "length mismatch: {} vs {}",
+        reference.len(),
+        quantized.len()
+    );
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = reference
+        .iter()
+        .zip(quantized)
+        .map(|(&r, &q)| {
+            let d = (r - q) as f64;
+            d * d
+        })
+        .sum();
+    (sum_sq / reference.len() as f64).sqrt()
+}
+
+/// Maximum absolute elementwise error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_error(reference: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(reference.len(), quantized.len(), "length mismatch");
+    reference
+        .iter()
+        .zip(quantized)
+        .map(|(&r, &q)| ((r - q) as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean absolute elementwise error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_abs_error(reference: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(reference.len(), quantized.len(), "length mismatch");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = reference
+        .iter()
+        .zip(quantized)
+        .map(|(&r, &q)| ((r - q) as f64).abs())
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB:
+/// `10 · log10(Σ r² / Σ (r − q)²)`.
+///
+/// Returns `f64::INFINITY` when the quantization is exact and
+/// `f64::NEG_INFINITY` when the reference signal is all-zero but the
+/// error is not.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sqnr_db(reference: &[f32], quantized: &[f32]) -> f64 {
+    assert_eq!(reference.len(), quantized.len(), "length mismatch");
+    let signal: f64 = reference.iter().map(|&r| (r as f64) * (r as f64)).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(quantized)
+        .map(|(&r, &q)| {
+            let d = (r - q) as f64;
+            d * d
+        })
+        .sum();
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    if signal == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    10.0 * (signal / noise).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_of_identical_is_zero() {
+        let x = [1.0f32, -2.0, 3.5];
+        assert_eq!(rms_error(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn rms_known_value() {
+        // errors: 1 and -1 → rms = 1.
+        assert_eq!(rms_error(&[0.0, 0.0], &[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rms_error(&[], &[]), 0.0);
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+        assert_eq!(max_abs_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        rms_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sqnr_exact_is_infinite() {
+        let x = [1.0f32, 2.0];
+        assert_eq!(sqnr_db(&x, &x), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_ordering_matches_error_ordering() {
+        let x = [1.0f32, -1.0, 0.5, 2.0];
+        let close = [1.01f32, -0.99, 0.5, 2.0];
+        let far = [1.3f32, -0.7, 0.2, 2.4];
+        assert!(sqnr_db(&x, &close) > sqnr_db(&x, &far));
+    }
+
+    #[test]
+    fn max_and_mean_abs() {
+        let r = [0.0f32, 0.0, 0.0, 0.0];
+        let q = [1.0f32, -3.0, 0.0, 2.0];
+        assert_eq!(max_abs_error(&r, &q), 3.0);
+        assert_eq!(mean_abs_error(&r, &q), 1.5);
+    }
+}

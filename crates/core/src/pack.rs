@@ -1,0 +1,187 @@
+//! Dense bit-packing of fixed-width codes, the storage layout a weight
+//! buffer would use for sub-byte formats.
+
+/// Packs `width`-bit codes back to back into `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::BitPacker;
+///
+/// let mut p = BitPacker::new(4);
+/// p.push(0xA);
+/// p.push(0x5);
+/// assert_eq!(p.get(0), 0xA);
+/// assert_eq!(p.get(1), 0x5);
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPacker {
+    width: u32,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitPacker {
+    /// Create a packer for `width`-bit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(width: u32) -> Self {
+        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        BitPacker {
+            width,
+            len: 0,
+            words: Vec::new(),
+        }
+    }
+
+    /// The code width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of codes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a code. Bits above `width` are masked off.
+    pub fn push(&mut self, code: u64) {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let code = code & mask;
+        let bit_pos = self.len * self.width as usize;
+        let word = bit_pos / 64;
+        let offset = (bit_pos % 64) as u32;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= code << offset;
+        let spill = offset + self.width;
+        if spill > 64 {
+            // Code straddles a word boundary.
+            self.words.push(code >> (64 - offset));
+        }
+        self.len += 1;
+    }
+
+    /// Read the code at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: usize) -> u64 {
+        assert!(index < self.len, "index {index} out of bounds {}", self.len);
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let bit_pos = index * self.width as usize;
+        let word = bit_pos / 64;
+        let offset = (bit_pos % 64) as u32;
+        let mut code = self.words[word] >> offset;
+        let spill = offset + self.width;
+        if spill > 64 {
+            code |= self.words[word + 1] << (64 - offset);
+        }
+        code & mask
+    }
+
+    /// Iterate over all stored codes.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Bytes consumed by the packed storage.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl Extend<u64> for BitPacker {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for code in iter {
+            self.push(code);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [1, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 63, 64] {
+            let mut p = BitPacker::new(width);
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let codes: Vec<u64> = (0..200u64).map(|i| (i.wrapping_mul(0x9E3779B9)) & mask).collect();
+            p.extend(codes.iter().copied());
+            for (i, &c) in codes.iter().enumerate() {
+                assert_eq!(p.get(i), c, "width={width} index={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn straddling_word_boundaries() {
+        // 7-bit codes: code 9 starts at bit 63 and straddles words 0/1.
+        let mut p = BitPacker::new(7);
+        for i in 0..20 {
+            p.push(0x7F - i);
+        }
+        for i in 0..20 {
+            assert_eq!(p.get(i as usize), 0x7F - i);
+        }
+    }
+
+    #[test]
+    fn masks_high_bits() {
+        let mut p = BitPacker::new(4);
+        p.push(0xFFFF);
+        assert_eq!(p.get(0), 0xF);
+    }
+
+    #[test]
+    fn packed_bytes_is_tight() {
+        let mut p = BitPacker::new(4);
+        for _ in 0..16 {
+            p.push(1);
+        }
+        // 16 × 4 bits = 64 bits = one word.
+        assert_eq!(p.packed_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let p = BitPacker::new(8);
+        p.get(0);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let mut p = BitPacker::new(5);
+        for i in 0..40 {
+            p.push(i % 32);
+        }
+        let collected: Vec<u64> = p.iter().collect();
+        assert_eq!(collected.len(), 40);
+        assert_eq!(collected[37], 37 % 32);
+    }
+}

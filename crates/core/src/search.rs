@@ -1,0 +1,180 @@
+//! Exponent-width search.
+//!
+//! The paper: *"The number of exponent bits in the AdaptivFloat,
+//! IEEE-like float, and posit formats is set evenly for all the layers in
+//! the network to the value yielding the highest inference accuracy after
+//! doing a search on the exponent width."* This module provides that
+//! search with RMS error as the (task-free) objective, over one tensor or
+//! a whole set of layers.
+
+use crate::adaptiv::AdaptivFloat;
+use crate::error::FormatError;
+use crate::format::NumberFormat;
+use crate::ieee_like::IeeeLikeFloat;
+use crate::metrics::rms_error;
+use crate::posit::Posit;
+
+/// The outcome of an exponent-width search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExponentSearch {
+    /// The winning exponent width (or `es` for posit).
+    pub best_e: u32,
+    /// The mean RMS error achieved by the winner.
+    pub best_rms: f64,
+    /// Every candidate with its mean RMS error, ascending in `e`.
+    pub candidates: Vec<(u32, f64)>,
+}
+
+fn search<F>(n: u32, e_range: impl Iterator<Item = u32>, layers: &[&[f32]], build: F) -> Result<ExponentSearch, FormatError>
+where
+    F: Fn(u32, u32) -> Result<Box<dyn NumberFormat>, FormatError>,
+{
+    let mut candidates = Vec::new();
+    for e in e_range {
+        let fmt = match build(n, e) {
+            Ok(f) => f,
+            Err(_) => continue, // geometry impossible at this width
+        };
+        let mut total = 0.0f64;
+        for w in layers {
+            total += rms_error(w, &fmt.quantize_slice(w));
+        }
+        candidates.push((e, total / layers.len().max(1) as f64));
+    }
+    let best = candidates
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite rms"))
+        .copied()
+        .ok_or(FormatError::InvalidBits {
+            n,
+            e: 0,
+            reason: "no feasible exponent width",
+        })?;
+    Ok(ExponentSearch {
+        best_e: best.0,
+        best_rms: best.1,
+        candidates,
+    })
+}
+
+/// Search the best AdaptivFloat exponent width at word size `n` for a set
+/// of layers (mean per-layer RMS objective).
+///
+/// # Errors
+///
+/// Returns [`FormatError::InvalidBits`] if no exponent width is feasible.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::search::search_adaptivfloat_exponent;
+///
+/// # fn main() -> Result<(), adaptivfloat::FormatError> {
+/// let layer: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).sin()).collect();
+/// let result = search_adaptivfloat_exponent(8, &[&layer])?;
+/// assert!(result.best_e >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn search_adaptivfloat_exponent(
+    n: u32,
+    layers: &[&[f32]],
+) -> Result<ExponentSearch, FormatError> {
+    search(n, 1..n, layers, |n, e| {
+        Ok(Box::new(AdaptivFloat::new(n, e)?) as Box<dyn NumberFormat>)
+    })
+}
+
+/// Search the best IEEE-like float exponent width at word size `n`.
+///
+/// # Errors
+///
+/// Returns [`FormatError::InvalidBits`] if no exponent width is feasible.
+pub fn search_float_exponent(n: u32, layers: &[&[f32]]) -> Result<ExponentSearch, FormatError> {
+    search(n, 1..n, layers, |n, e| {
+        Ok(Box::new(IeeeLikeFloat::new(n, e)?) as Box<dyn NumberFormat>)
+    })
+}
+
+/// Search the best posit `es` at word size `n`.
+///
+/// # Errors
+///
+/// Returns [`FormatError::InvalidBits`] if no `es` is feasible.
+pub fn search_posit_es(n: u32, layers: &[&[f32]]) -> Result<ExponentSearch, FormatError> {
+    search(n, 0..=4, layers, |n, es| {
+        Ok(Box::new(Posit::new(n, es)?) as Box<dyn NumberFormat>)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_ish(scale: f32) -> Vec<f32> {
+        (0..2048)
+            .map(|i| {
+                let x = (i as f32 * 0.37).sin() + (i as f32 * 0.11).cos();
+                x * scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adaptivfloat_search_returns_feasible_best() {
+        let layer = gaussian_ish(0.5);
+        let r = search_adaptivfloat_exponent(8, &[&layer]).unwrap();
+        assert!((1..8).contains(&r.best_e));
+        assert_eq!(r.candidates.len(), 7);
+        // The winner really is the minimum.
+        for &(_, rms) in &r.candidates {
+            assert!(r.best_rms <= rms);
+        }
+    }
+
+    #[test]
+    fn narrow_data_prefers_fewer_exponent_bits() {
+        // A tight unimodal distribution wants mantissa precision, not
+        // range: the best e should be small-to-moderate.
+        let layer = gaussian_ish(0.1);
+        let r = search_adaptivfloat_exponent(8, &[&layer]).unwrap();
+        assert!(r.best_e <= 3, "best_e {}", r.best_e);
+    }
+
+    #[test]
+    fn multi_scale_layers_prefer_more_exponent_bits_than_single() {
+        // Mixed magnitudes across layers push the preferred width up or
+        // keep it equal — never down.
+        let narrow = gaussian_ish(0.1);
+        let r1 = search_adaptivfloat_exponent(6, &[&narrow]).unwrap();
+        let wide: Vec<f32> = gaussian_ish(0.1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i % 50 == 0 { v * 100.0 } else { v })
+            .collect();
+        let r2 = search_adaptivfloat_exponent(6, &[&wide]).unwrap();
+        assert!(r2.best_e >= r1.best_e, "{} vs {}", r2.best_e, r1.best_e);
+    }
+
+    #[test]
+    fn posit_search_range() {
+        let layer = gaussian_ish(1.0);
+        let r = search_posit_es(8, &[&layer]).unwrap();
+        assert!(r.best_e <= 2, "es {}", r.best_e);
+    }
+
+    #[test]
+    fn float_search_works() {
+        let layer = gaussian_ish(0.5);
+        let r = search_float_exponent(8, &[&layer]).unwrap();
+        assert!((1..8).contains(&r.best_e));
+    }
+
+    #[test]
+    fn empty_layer_set_is_benign() {
+        // Zero layers → all candidates have rms 0; the search still
+        // returns a feasible width.
+        let r = search_adaptivfloat_exponent(8, &[]).unwrap();
+        assert_eq!(r.best_rms, 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tensor distribution statistics (Figure 1 of the paper: weight-range
+//! spreads across model families).
+
+/// Summary statistics of a tensor's value distribution.
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::TensorStats;
+///
+/// let stats = TensorStats::from_slice(&[-2.0, 0.0, 1.0, 3.0]);
+/// assert_eq!(stats.min, -2.0);
+/// assert_eq!(stats.max, 3.0);
+/// assert_eq!(stats.abs_max, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorStats {
+    /// Smallest value.
+    pub min: f32,
+    /// Largest value.
+    pub max: f32,
+    /// Largest absolute value.
+    pub abs_max: f32,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Excess kurtosis (0 for a Gaussian); large values flag the heavy
+    /// tails the paper observes in layer-norm NLP models.
+    pub kurtosis: f64,
+    /// Number of elements summarized.
+    pub count: usize,
+}
+
+impl TensorStats {
+    /// Compute statistics over a slice. An empty slice yields all-zero
+    /// statistics with `count == 0`.
+    pub fn from_slice(data: &[f32]) -> Self {
+        if data.is_empty() {
+            return TensorStats {
+                min: 0.0,
+                max: 0.0,
+                abs_max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                kurtosis: 0.0,
+                count: 0,
+            };
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for &v in data {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+        }
+        let n = data.len() as f64;
+        let mean = sum / n;
+        let mut m2 = 0.0f64;
+        let mut m4 = 0.0f64;
+        for &v in data {
+            let d = v as f64 - mean;
+            let d2 = d * d;
+            m2 += d2;
+            m4 += d2 * d2;
+        }
+        m2 /= n;
+        m4 /= n;
+        let kurtosis = if m2 > 0.0 { m4 / (m2 * m2) - 3.0 } else { 0.0 };
+        TensorStats {
+            min,
+            max,
+            abs_max: min.abs().max(max.abs()),
+            mean,
+            std: m2.sqrt(),
+            kurtosis,
+            count: data.len(),
+        }
+    }
+
+    /// The `p`-th percentile of |values| (0 ≤ p ≤ 100) — useful for
+    /// percentile-clipped exponent-bias ablations.
+    ///
+    /// Returns `0.0` for an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn abs_percentile(data: &[f32], p: f64) -> f32 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut abs: Vec<f32> = data.iter().map(|v| v.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let idx = ((p / 100.0) * (abs.len() - 1) as f64).round() as usize;
+        abs[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let stats = TensorStats::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.mean, 2.5);
+        assert!((stats.std - 1.1180).abs() < 1e-3);
+        assert_eq!(stats.count, 4);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let stats = TensorStats::from_slice(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.abs_max, 0.0);
+    }
+
+    #[test]
+    fn kurtosis_flags_heavy_tails() {
+        // A spiky distribution (many zeros, one huge outlier) has large
+        // excess kurtosis; a uniform grid has negative excess kurtosis.
+        let mut spiky = vec![0.01f32; 999];
+        spiky.push(100.0);
+        let uniform: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        let k_spiky = TensorStats::from_slice(&spiky).kurtosis;
+        let k_uniform = TensorStats::from_slice(&uniform).kurtosis;
+        assert!(k_spiky > 100.0, "spiky kurtosis {k_spiky}");
+        assert!(k_uniform < 0.0, "uniform kurtosis {k_uniform}");
+    }
+
+    #[test]
+    fn abs_max_uses_both_signs() {
+        let stats = TensorStats::from_slice(&[-5.0, 2.0]);
+        assert_eq!(stats.abs_max, 5.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let data = [3.0f32, -1.0, 2.0, -4.0];
+        assert_eq!(TensorStats::abs_percentile(&data, 100.0), 4.0);
+        assert_eq!(TensorStats::abs_percentile(&data, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_out_of_range_panics() {
+        TensorStats::abs_percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn constant_tensor_zero_std_and_kurtosis() {
+        let stats = TensorStats::from_slice(&[2.0; 64]);
+        assert_eq!(stats.std, 0.0);
+        assert_eq!(stats.kurtosis, 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Stochastic rounding for AdaptivFloat — an unbiased-rounding extension
+//! useful during quantization-aware training (the expected value of the
+//! quantized weight equals the real weight, which keeps SGD unbiased).
+
+use crate::adaptiv::{AdaptivFloat, AdaptivParams};
+use crate::util::{exp2, floor_log2};
+
+/// A tiny deterministic xorshift64* stream in `[0, 1)` so the crate stays
+/// dependency-free and runs are reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StochasticRounder {
+    state: u64,
+}
+
+impl StochasticRounder {
+    /// Seeded stream (seed 0 is remapped to a fixed non-zero constant).
+    pub fn new(seed: u64) -> Self {
+        StochasticRounder {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next uniform sample in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let r = x.wrapping_mul(0x2545F4914F6CDD1D);
+        (r >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl AdaptivFloat {
+    /// Quantize one value with *stochastic* rounding: round down or up
+    /// with probability proportional to the distance, so
+    /// `E[quantize(v)] = v` for in-range values. `u` must be uniform in
+    /// `[0, 1)`. Out-of-range values clamp deterministically; the
+    /// sub-minimum region rounds stochastically between 0 and
+    /// `±value_min`.
+    pub fn quantize_with_stochastic(&self, params: &AdaptivParams, v: f32, u: f64) -> f32 {
+        debug_assert!((0.0..1.0).contains(&u), "u must be in [0,1)");
+        if v.is_nan() || v == 0.0 {
+            return 0.0;
+        }
+        let sign = if v.is_sign_negative() { -1.0f64 } else { 1.0 };
+        let a = v.abs() as f64;
+        let vmin = params.value_min();
+        let vmax = params.value_max();
+        if a >= vmax || a.is_infinite() {
+            return (sign * vmax) as f32;
+        }
+        if a < vmin {
+            // P(round to vmin) = a / vmin — unbiased between 0 and vmin.
+            return if u < a / vmin { (sign * vmin) as f32 } else { 0.0 };
+        }
+        let m = params.mantissa_bits();
+        let mut exp = floor_log2(a);
+        let scale = exp2(m as i32);
+        let mant_scaled = a / exp2(exp) * scale; // in [scale, 2·scale)
+        let lo = mant_scaled.floor();
+        let frac = mant_scaled - lo;
+        let mut q = if u < frac { lo + 1.0 } else { lo } / scale;
+        if q >= 2.0 {
+            exp += 1;
+            q = 1.0;
+        }
+        if exp > params.exp_max() {
+            return (sign * vmax) as f32;
+        }
+        (sign * exp2(exp) * q) as f32
+    }
+
+    /// Quantize a slice with stochastic rounding from a seeded stream.
+    pub fn quantize_slice_stochastic(
+        &self,
+        data: &[f32],
+        rounder: &mut StochasticRounder,
+    ) -> Vec<f32> {
+        let params = self.params_for(data);
+        data.iter()
+            .map(|&v| self.quantize_with_stochastic(&params, v, rounder.next_unit()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::NumberFormat;
+
+    #[test]
+    fn stream_is_uniform_ish_and_deterministic() {
+        let mut r1 = StochasticRounder::new(7);
+        let mut r2 = StochasticRounder::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let a = r1.next_unit();
+            assert_eq!(a, r2.next_unit());
+            assert!((0.0..1.0).contains(&a));
+            sum += a;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn representable_values_are_fixed_points() {
+        let fmt = AdaptivFloat::new(6, 3).unwrap();
+        let params = fmt.params_with_bias(-5);
+        for &g in &fmt.representable_values(&params) {
+            for u in [0.0, 0.3, 0.7, 0.999] {
+                assert_eq!(fmt.quantize_with_stochastic(&params, g, u), g, "g={g} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_is_unbiased() {
+        // E[q(v)] ≈ v for a value halfway between two grid points.
+        let fmt = AdaptivFloat::new(8, 3).unwrap();
+        let params = fmt.params_with_bias(-7);
+        let v = 1.03125f32; // between 1.0 and 1.0625 on the <8,3> grid
+        let mut r = StochasticRounder::new(3);
+        let n = 40_000;
+        let mean: f64 = (0..n)
+            .map(|_| fmt.quantize_with_stochastic(&params, v, r.next_unit()) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - v as f64).abs() < 2e-3, "mean {mean} vs {v}");
+    }
+
+    #[test]
+    fn sub_minimum_expectation() {
+        let fmt = AdaptivFloat::new(4, 2).unwrap();
+        let params = fmt.params_with_bias(-2); // vmin = 0.375
+        let v = 0.15f32;
+        let mut r = StochasticRounder::new(11);
+        let n = 40_000;
+        let mean: f64 = (0..n)
+            .map(|_| fmt.quantize_with_stochastic(&params, v, r.next_unit()) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - v as f64).abs() < 5e-3, "mean {mean} vs {v}");
+    }
+
+    #[test]
+    fn clamping_is_deterministic() {
+        let fmt = AdaptivFloat::new(4, 2).unwrap();
+        let params = fmt.params_with_bias(-2);
+        for u in [0.0, 0.5, 0.99] {
+            assert_eq!(fmt.quantize_with_stochastic(&params, 50.0, u), 3.0);
+            assert_eq!(fmt.quantize_with_stochastic(&params, -50.0, u), -3.0);
+        }
+    }
+
+    #[test]
+    fn slice_variant_stays_on_grid() {
+        let fmt = AdaptivFloat::new(6, 2).unwrap();
+        let data: Vec<f32> = (0..200).map(|i| (i as f32 * 0.031).sin() * 2.0).collect();
+        let mut r = StochasticRounder::new(5);
+        let q = fmt.quantize_slice_stochastic(&data, &mut r);
+        let params = fmt.params_for(&data);
+        let grid = fmt.representable_values(&params);
+        for &v in &q {
+            assert!(grid.contains(&v), "{v} off grid");
+        }
+        // Different from nearest rounding somewhere (it is stochastic).
+        let nearest = fmt.quantize_slice(&data);
+        assert_ne!(q, nearest);
+    }
+}

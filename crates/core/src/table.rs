@@ -1,0 +1,139 @@
+//! Representable-value enumeration across formats — the machinery behind
+//! the paper's Figure 2 (zero assignment) and Figure 3 (the <4,2> grid).
+
+use crate::format::NumberFormat;
+use crate::{AdaptivFloat, IeeeLikeFloat, Posit};
+
+/// A side-by-side rendering of two value grids, used to reproduce the
+/// paper's Figure 2: a float without denormals keeps ±min but has no zero;
+/// AdaptivFloat sacrifices ±min for ±0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridComparison {
+    /// Description of the left grid.
+    pub left_label: String,
+    /// Values of the left grid, ascending.
+    pub left: Vec<f32>,
+    /// Description of the right grid.
+    pub right_label: String,
+    /// Values of the right grid, ascending.
+    pub right: Vec<f32>,
+}
+
+/// Build the paper's Figure 2 comparison for an `<n, e>` geometry at a
+/// given exponent bias: "floating points w/o denormals" (keeps the
+/// `2^bias` slots, has no zero) vs. AdaptivFloat (trades ±`2^bias` for ±0).
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid for [`AdaptivFloat::new`].
+///
+/// # Examples
+///
+/// ```
+/// use adaptivfloat::table::figure2_comparison;
+///
+/// let cmp = figure2_comparison(4, 2, -2);
+/// assert!(!cmp.left.contains(&0.0));   // no zero without the trick
+/// assert!(cmp.right.contains(&0.0));   // AdaptivFloat has exact zero
+/// assert!(cmp.left.contains(&0.25));   // ±min kept on the left
+/// assert!(!cmp.right.contains(&0.25)); // ±min sacrificed on the right
+/// ```
+pub fn figure2_comparison(n: u32, e: u32, exp_bias: i32) -> GridComparison {
+    let fmt = AdaptivFloat::new(n, e).expect("valid geometry");
+    let params = fmt.params_with_bias(exp_bias);
+    let right = fmt.representable_values(&params);
+    // The "no denormals, no zero trick" grid: every (exp, mant) pair.
+    let m = fmt.mantissa_bits();
+    let mut left = Vec::new();
+    for exp_field in 0..(1u32 << e) {
+        for mant_field in 0..(1u32 << m) {
+            let exp = exp_bias + exp_field as i32;
+            let mant = 1.0 + mant_field as f64 / (m as f64).exp2();
+            let v = ((exp as f64).exp2() * mant) as f32;
+            left.push(v);
+            left.push(-v);
+        }
+    }
+    left.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    GridComparison {
+        left_label: "floating points w/o denormals".to_string(),
+        left,
+        right_label: "AdaptivFloat (sacrifice ±min for ±0)".to_string(),
+        right,
+    }
+}
+
+/// Enumerate the positive representable values of the three float-like
+/// formats at matched word size, for density/coverage comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Format name.
+    pub name: String,
+    /// Smallest positive representable magnitude.
+    pub min_pos: f64,
+    /// Largest representable magnitude.
+    pub max_pos: f64,
+    /// Number of distinct non-negative values.
+    pub levels: usize,
+}
+
+/// Coverage of AdaptivFloat (at a given bias), IEEE-like float, and posit
+/// at the same word size.
+///
+/// # Panics
+///
+/// Panics if any geometry is invalid (e.g. `n < 4`).
+pub fn coverage(n: u32, adaptiv_e: u32, float_e: u32, posit_es: u32, exp_bias: i32) -> Vec<CoverageReport> {
+    let af = AdaptivFloat::new(n, adaptiv_e).expect("valid adaptivfloat");
+    let params = af.params_with_bias(exp_bias);
+    let af_vals = af.representable_values(&params);
+    let fl = IeeeLikeFloat::new(n, float_e).expect("valid float");
+    let fl_vals = fl.representable_values();
+    let po = Posit::new(n, posit_es).expect("valid posit");
+    let po_vals = po.representable_values();
+    let report = |name: String, vals: &[f32]| {
+        let pos: Vec<f64> = vals.iter().filter(|&&v| v > 0.0).map(|&v| v as f64).collect();
+        CoverageReport {
+            name,
+            min_pos: pos.first().copied().unwrap_or(0.0),
+            max_pos: pos.last().copied().unwrap_or(0.0),
+            levels: vals.iter().filter(|&&v| v >= 0.0).count(),
+        }
+    };
+    vec![
+        report(af.name(), &af_vals),
+        report(fl.name(), &fl_vals),
+        report(po.name(), &po_vals),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_matches_paper_grids() {
+        let cmp = figure2_comparison(4, 2, -2);
+        // Left: ±{0.25, 0.375, 0.5, 0.75, 1, 1.5, 2, 3}, 16 values, no 0.
+        assert_eq!(cmp.left.len(), 16);
+        assert!(cmp.left.contains(&0.375) && cmp.left.contains(&-0.25));
+        // Right: same minus ±0.25 plus a single 0 → 15 values.
+        assert_eq!(cmp.right.len(), 15);
+        assert!(cmp.right.contains(&3.0) && cmp.right.contains(&-3.0));
+    }
+
+    #[test]
+    fn coverage_ordering() {
+        let reports = coverage(8, 3, 4, 1, -8);
+        assert_eq!(reports.len(), 3);
+        // Posit has by far the widest dynamic range at 8 bits.
+        let posit = &reports[2];
+        let float = &reports[1];
+        assert!(posit.max_pos > float.max_pos);
+        // All formats offer 2^(n−1) non-negative levels (±0 collapsed,
+        // posit loses one slot to NaR's absence on the negative side only).
+        for r in &reports {
+            assert_eq!(r.levels, 128, "{}", r.name);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Internal numeric helpers shared by the format implementations.
+
+/// Exact `2^k` as `f64`.
+pub(crate) fn exp2(k: i32) -> f64 {
+    (k as f64).exp2()
+}
+
+/// Exact `floor(log2(|x|))` for finite non-zero `x`, via the IEEE-754 bit
+/// layout of `f64`. Every non-zero finite `f32` widens to a *normal* `f64`,
+/// so the fast path is exact for all inputs this crate sees.
+pub(crate) fn floor_log2(x: f64) -> i32 {
+    debug_assert!(x.is_finite() && x != 0.0);
+    let bits = x.abs().to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i32;
+    if biased == 0 {
+        // f64 subnormal: find the highest set mantissa bit.
+        let mant = bits & ((1u64 << 52) - 1);
+        -1023 - 52 + (63 - mant.leading_zeros() as i32) + 1
+    } else {
+        biased - 1023
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_log2_exact_powers() {
+        for k in -60..=60 {
+            assert_eq!(floor_log2(exp2(k)), k);
+            // Just below a power of two belongs to the previous binade.
+            let below = exp2(k) * (1.0 - 1e-12);
+            assert_eq!(floor_log2(below), k - 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn floor_log2_subnormal_f64() {
+        let tiny = f64::from_bits(1);
+        assert_eq!(floor_log2(tiny), -1074);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests over the format implementations (crate-level; the
+//! cross-crate properties live in the workspace `tests/` directory).
+
+use adaptivfloat::{AdaptivFloat, NumberFormat, StochasticRounder};
+use proptest::prelude::*;
+
+proptest! {
+    /// The derived exponent bias always makes the tensor max
+    /// representable: max|data| ≤ value_max, and the top binade is used
+    /// (2^exp_max ≤ max).
+    #[test]
+    fn exp_bias_brackets_the_maximum(
+        data in prop::collection::vec(-1e6f32..1e6, 1..64),
+        e in 1u32..=5,
+    ) {
+        let n = e + 3;
+        let fmt = AdaptivFloat::new(n, e).expect("valid");
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assume!(max_abs > 0.0);
+        let params = fmt.params_for(&data);
+        // Algorithm 1 brackets the max by its binade: 2^exp_max ≤ max <
+        // 2^(exp_max+1). Note value_max = 2^exp_max · (2 − 2^−m) may sit
+        // *below* the max (which then clamps) — by at most 2/(2 − 2^−m).
+        let top = (params.exp_max() as f64).exp2();
+        prop_assert!(top <= max_abs as f64 * (1.0 + 1e-6));
+        prop_assert!((max_abs as f64) < top * 2.0 * (1.0 + 1e-6));
+        let m = fmt.mantissa_bits() as f64;
+        let overshoot = 2.0 / (2.0 - (-m).exp2());
+        prop_assert!(max_abs as f64 <= params.value_max() * overshoot * (1.0 + 1e-6));
+    }
+
+    /// Encode → decode is the identity on quantized values for random
+    /// geometries and biases.
+    #[test]
+    fn encode_decode_identity(
+        v in -1e4f32..1e4,
+        e in 1u32..=4,
+        m in 0u32..=4,
+        bias in -12i32..=2,
+    ) {
+        let n = 1 + e + m;
+        prop_assume!(n >= 3);
+        let fmt = AdaptivFloat::new(n, e).expect("valid");
+        let params = fmt.params_with_bias(bias);
+        let q = fmt.quantize_with(&params, v);
+        let code = fmt.encode_with(&params, q);
+        prop_assert_eq!(fmt.decode_with(&params, code), q);
+    }
+
+    /// Quantization error for in-range values is at most half the local
+    /// grid step (2^exp · 2^−m / 2) plus rounding slack.
+    #[test]
+    fn in_range_error_bound(v in 0.01f32..100.0) {
+        let fmt = AdaptivFloat::new(8, 3).expect("valid");
+        let params = fmt.params_for(&[128.0f32]); // wide fixed range
+        prop_assume!((v as f64) >= params.value_min());
+        let q = fmt.quantize_with(&params, v);
+        let exp = (v as f64).log2().floor();
+        let step = exp.exp2() * (-(fmt.mantissa_bits() as f64)).exp2();
+        prop_assert!(((v - q).abs() as f64) <= step / 2.0 + 1e-9,
+            "v={v} q={q} step={step}");
+    }
+
+    /// Stochastic rounding lands on one of the two neighbours of nearest
+    /// rounding (or the same point).
+    #[test]
+    fn stochastic_stays_adjacent(v in -50.0f32..50.0, seed in 1u64..1000) {
+        let fmt = AdaptivFloat::new(6, 3).expect("valid");
+        let params = fmt.params_for(&[64.0f32]);
+        let mut r = StochasticRounder::new(seed);
+        let s = fmt.quantize_with_stochastic(&params, v, r.next_unit());
+        let grid = fmt.representable_values(&params);
+        prop_assert!(grid.contains(&s), "{s} off grid");
+        // s must be one of the grid points bracketing v.
+        let above = grid.iter().copied().filter(|&g| g >= v).fold(f32::INFINITY, f32::min);
+        let below = grid.iter().copied().filter(|&g| g <= v).fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(s == above || s == below, "v={v} s={s} [{below},{above}]");
+    }
+
+    /// quantize_slice_with_max equals quantize_slice when the calibrated
+    /// maximum equals the data's own maximum.
+    #[test]
+    fn calibrated_max_consistency(data in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let fmt = AdaptivFloat::new(8, 3).expect("valid");
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assume!(max_abs > 0.0);
+        let a = fmt.quantize_slice(&data);
+        let b = fmt.quantize_slice_with_max(max_abs, &data);
+        prop_assert_eq!(a, b);
+    }
+}

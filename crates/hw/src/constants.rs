@@ -1,0 +1,114 @@
+//! The 16 nm-class component cost library.
+//!
+//! Constants are *effective* per-primitive costs — they fold in clock
+//! tree, wiring, and pipeline overheads of an HLS-generated design — and
+//! were calibrated in two steps: start from published 16 nm-class
+//! primitive data (multiplier energy ∝ operand-bit product, adder/register
+//! energy ∝ width), then tune within physically plausible bounds so the
+//! INT-vs-HFINT *ratios* of the paper's Figure 7 are reproduced (HFINT
+//! per-op energy 0.9–1.0× of INT, INT perf/area 1.04–1.21× of HFINT,
+//! both trends growing with vector size and operand width).
+
+/// Per-primitive energy (fJ) and area (µm²) cost parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Multiplier energy per bit-product (fJ per `a·b`).
+    pub mult_fj_per_bit2: f64,
+    /// Adder energy per bit (fJ).
+    pub add_fj_per_bit: f64,
+    /// Register write energy per bit (fJ).
+    pub reg_write_fj_per_bit: f64,
+    /// Register/operand-latch read energy per bit (fJ).
+    pub reg_read_fj_per_bit: f64,
+    /// SRAM read energy per bit (fJ), small buffer, including periphery.
+    pub sram_read_fj_per_bit: f64,
+    /// Barrel-shifter energy per bit shifted (fJ).
+    pub shift_fj_per_bit: f64,
+    /// Fixed per-cycle control energy per PE (fJ).
+    pub ctrl_fj_fixed: f64,
+    /// Per-lane per-cycle control energy (fJ).
+    pub ctrl_fj_per_lane: f64,
+    /// Multiplier area per bit-product (µm²).
+    pub mult_um2_per_bit2: f64,
+    /// Adder area per bit (µm²).
+    pub add_um2_per_bit: f64,
+    /// Register area per bit (µm²).
+    pub reg_um2_per_bit: f64,
+    /// Shifter area per bit (µm²).
+    pub shift_um2_per_bit: f64,
+    /// Fixed control/sequencer area per PE (µm²).
+    pub ctrl_um2_fixed: f64,
+    /// Per-MAC wiring/pipeline area overhead (µm²).
+    pub ctrl_um2_per_mac: f64,
+    /// SRAM density including periphery (µm² per bit).
+    pub sram_um2_per_bit: f64,
+    /// HLS pipeline/wiring area overhead multiplier applied to datapath
+    /// logic when rolled into a full accelerator floorplan.
+    pub hls_area_overhead: f64,
+    /// Static leakage power density (mW per mm²).
+    pub leakage_mw_per_mm2: f64,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+}
+
+impl CostParams {
+    /// The calibrated 16 nm FinFET-class parameter set.
+    pub fn finfet16() -> Self {
+        CostParams {
+            mult_fj_per_bit2: 0.83,
+            add_fj_per_bit: 0.05,
+            reg_write_fj_per_bit: 1.5,
+            reg_read_fj_per_bit: 0.5,
+            sram_read_fj_per_bit: 20.0,
+            shift_fj_per_bit: 0.79,
+            ctrl_fj_fixed: 2187.0,
+            ctrl_fj_per_lane: 474.0,
+            mult_um2_per_bit2: 1.72,
+            add_um2_per_bit: 3.95,
+            reg_um2_per_bit: 6.0,
+            shift_um2_per_bit: 4.0,
+            ctrl_um2_fixed: 15336.0,
+            ctrl_um2_per_mac: 454.0,
+            sram_um2_per_bit: 0.30,
+            hls_area_overhead: 4.0,
+            leakage_mw_per_mm2: 2.0,
+            clock_ghz: 1.0,
+        }
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::finfet16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_multiplier_magnitude_is_plausible() {
+        // An 8×8 multiplier at 16 nm should cost tens of fJ and a few
+        // hundred µm².
+        let p = CostParams::finfet16();
+        let e = p.mult_fj_per_bit2 * 64.0;
+        let a = p.mult_um2_per_bit2 * 64.0;
+        assert!((10.0..120.0).contains(&e), "mult energy {e} fJ");
+        assert!((50.0..500.0).contains(&a), "mult area {a} µm²");
+    }
+
+    #[test]
+    fn sram_density_magnitude() {
+        // 1 MB at this density should be a fraction of a mm² up to a few
+        // mm² — the scale Table 4 floorplans operate at.
+        let p = CostParams::finfet16();
+        let mb = 8.0 * 1024.0 * 1024.0 * p.sram_um2_per_bit / 1e6;
+        assert!((0.5..5.0).contains(&mb), "1MB = {mb} mm²");
+    }
+
+    #[test]
+    fn default_is_finfet16() {
+        assert_eq!(CostParams::default(), CostParams::finfet16());
+    }
+}

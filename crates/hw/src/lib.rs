@@ -1,0 +1,41 @@
+//! # af-hw — the paper's hardware co-design, as an analytical +
+//! bit-accurate model
+//!
+//! The paper implements two DNN processing elements in SystemC/HLS on a
+//! 16 nm FinFET library: an NVDLA-like monolithic **INT** PE (Figure 5a)
+//! and the proposed **Hybrid Float-Integer (HFINT)** PE exploiting
+//! AdaptivFloat (Figure 5b), then compares per-operation energy and
+//! throughput per area across MAC vector sizes (Figure 7) and full
+//! 4-PE accelerator PPA on a 100-timestep LSTM (Table 4, Figure 6).
+//!
+//! We reproduce that flow with:
+//!
+//! * a **component cost library** ([`constants::CostParams`]) of
+//!   energy/area primitives calibrated to 16 nm-class published data and
+//!   tuned so the INT/HFINT *ratios* track the paper's Figure 7;
+//! * **structural PE models** ([`PeModel`]) that assemble the exact
+//!   datapaths of Figure 5 — multiplier widths, adder trees, accumulator
+//!   widths (`INT8/24/40`, `HFINT8/30`), the INT PE's post-accumulation
+//!   scaling multiplier, the HFINT PE's exponent-bias shift and
+//!   integer→float converter — into bills of materials;
+//! * **bit-accurate functional datapaths** ([`arith`]) proving the two
+//!   PEs compute what the quantization algorithms promise;
+//! * an **accelerator system model** ([`Accelerator`]) with 4 PEs and a
+//!   1 MB global buffer running the paper's weight-stationary LSTM
+//!   workload.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod arith;
+pub mod components;
+pub mod constants;
+pub mod pe;
+pub mod workload;
+
+pub use accelerator::{Accelerator, AcceleratorReport};
+pub use components::{Bom, BomItem};
+pub use constants::CostParams;
+pub use pe::{PeConfig, PeKind, PeModel};
+pub use workload::LstmWorkload;

@@ -1,0 +1,399 @@
+//! Structural models of the two processing elements of Figure 5.
+//!
+//! * **INT PE** (Figure 5a, NVDLA-like): `n`-bit integer vector MACs,
+//!   `2n + log2(H)`-bit accumulation, an `S = 2n`-bit post-accumulation
+//!   scaling multiplier (the dequantization step integer quantization
+//!   needs), a right-shift, clip/truncate, and the activation unit.
+//! * **HFINT PE** (Figure 5b, proposed): AdaptivFloat operands —
+//!   `(m+1)×(m+1)` mantissa multipliers plus `e`-bit exponent adders and
+//!   an alignment shifter — accumulated as integer at
+//!   `2(2^e − 1) + 2m + log2(H)` bits, post-processed with the weight +
+//!   activation `exp_bias` shift (a cheap add/shift instead of the INT
+//!   PE's wide multiplier), truncation, and an integer→float converter.
+
+use crate::components::Bom;
+use crate::constants::CostParams;
+
+/// Which datapath (Figure 5a vs 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeKind {
+    /// Monolithic integer PE (NVDLA-like).
+    Int,
+    /// Hybrid float-integer PE (AdaptivFloat).
+    HfInt,
+}
+
+impl PeKind {
+    /// Short label: `"INT"` or `"HFINT"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PeKind::Int => "INT",
+            PeKind::HfInt => "HFINT",
+        }
+    }
+}
+
+/// Geometry of a PE instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeConfig {
+    /// Operand word size in bits.
+    pub n_bits: u32,
+    /// MAC vector size `K` (also the number of parallel lanes).
+    pub vector_size: u32,
+    /// Accumulation depth `H` (values summed without overflow).
+    pub accum_depth: u32,
+    /// AdaptivFloat exponent bits (HFINT only; the paper fixes 3).
+    pub exp_bits: u32,
+}
+
+impl PeConfig {
+    /// The paper's configuration at word size `n` and vector size `K`:
+    /// `H = 256`, 3 exponent bits.
+    pub fn paper(n_bits: u32, vector_size: u32) -> Self {
+        PeConfig {
+            n_bits,
+            vector_size,
+            accum_depth: 256,
+            exp_bits: 3,
+        }
+    }
+}
+
+/// An analyzed PE: bills of materials for area, per-cycle energy, and
+/// per-output post-processing energy.
+#[derive(Debug, Clone)]
+pub struct PeModel {
+    kind: PeKind,
+    config: PeConfig,
+    params: CostParams,
+    cycle_energy: Bom,
+    post_energy: Bom,
+    area: Bom,
+}
+
+impl PeModel {
+    /// Build the model for a PE kind and geometry under a cost library.
+    pub fn new(kind: PeKind, config: PeConfig, params: &CostParams) -> Self {
+        let mut model = PeModel {
+            kind,
+            config,
+            params: params.clone(),
+            cycle_energy: Bom::new(),
+            post_energy: Bom::new(),
+            area: Bom::new(),
+        };
+        model.build();
+        model
+    }
+
+    /// The PE kind.
+    pub fn kind(&self) -> PeKind {
+        self.kind
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &PeConfig {
+        &self.config
+    }
+
+    /// Accumulator width: `2n + log2(H)` for INT,
+    /// `2(2^e − 1) + 2m + log2(H)` for HFINT.
+    pub fn accumulator_bits(&self) -> u32 {
+        let n = self.config.n_bits;
+        let guard = log2_ceil(self.config.accum_depth);
+        match self.kind {
+            PeKind::Int => 2 * n + guard,
+            PeKind::HfInt => {
+                let e = self.config.exp_bits;
+                let m = self.mantissa_bits();
+                2 * ((1 << e) - 1) + 2 * m + guard
+            }
+        }
+    }
+
+    /// HFINT mantissa field width `m = n − 1 − e`.
+    pub fn mantissa_bits(&self) -> u32 {
+        self.config.n_bits.saturating_sub(1 + self.config.exp_bits)
+    }
+
+    /// Scaling-factor width of the INT PE, `S = 2n` (16 bits at 8-bit
+    /// operands, as in the paper's INT8/24/40).
+    pub fn scale_bits(&self) -> u32 {
+        2 * self.config.n_bits
+    }
+
+    /// Datapath name in the paper's notation: `INT8/24/40`, `HFINT8/30`.
+    pub fn name(&self) -> String {
+        let n = self.config.n_bits;
+        let a = self.accumulator_bits();
+        match self.kind {
+            PeKind::Int => format!("INT{}/{}/{}", n, a, a + self.scale_bits()),
+            PeKind::HfInt => format!("HFINT{}/{}", n, a),
+        }
+    }
+
+    fn build(&mut self) {
+        let p = self.params.clone();
+        let n = self.config.n_bits as f64;
+        let k = self.config.vector_size as f64;
+        let a = self.accumulator_bits() as f64;
+        let lk = (self.config.vector_size as f64).log2();
+        let m1 = (self.mantissa_bits() + 1) as f64;
+        let e = self.config.exp_bits as f64;
+        let s = self.scale_bits() as f64;
+        // --- per-cycle energy (the PE retires K² MACs per cycle) ---
+        let ce = &mut self.cycle_energy;
+        match self.kind {
+            PeKind::Int => {
+                let w_tree = 2.0 * n + lk;
+                ce.push(
+                    format!("int multiplier {n}x{n}"),
+                    k * k,
+                    p.mult_fj_per_bit2 * n * n,
+                    0.0,
+                );
+                ce.push("adder tree element", k * k, p.add_fj_per_bit * w_tree, 0.0);
+            }
+            PeKind::HfInt => {
+                ce.push(
+                    format!("mantissa multiplier {m1}x{m1}"),
+                    k * k,
+                    p.mult_fj_per_bit2 * m1 * m1,
+                    0.0,
+                );
+                ce.push("exponent adder", k * k, p.add_fj_per_bit * (e + 1.0), 0.0);
+                ce.push(
+                    "product align shifter",
+                    k * k,
+                    p.shift_fj_per_bit * a / 2.0,
+                    0.0,
+                );
+                ce.push("adder tree element (wide)", k * k, p.add_fj_per_bit * a, 0.0);
+            }
+        }
+        ce.push("operand latch read", k * k, p.reg_read_fj_per_bit * 2.0 * n, 0.0);
+        ce.push("accumulator add", k, p.add_fj_per_bit * a, 0.0);
+        ce.push("partial-sum register write", k, p.reg_write_fj_per_bit * a, 0.0);
+        ce.push("input buffer SRAM read", k, p.sram_read_fj_per_bit * n, 0.0);
+        ce.push("control (fixed)", 1.0, p.ctrl_fj_fixed, 0.0);
+        ce.push("control (per lane)", k, p.ctrl_fj_per_lane, 0.0);
+        // --- per-output post-processing energy ---
+        let pe_bom = &mut self.post_energy;
+        match self.kind {
+            PeKind::Int => {
+                let wide = a + s;
+                pe_bom.push(
+                    format!("scaling multiplier {a}x{s}"),
+                    1.0,
+                    p.mult_fj_per_bit2 * a * s / 8.0,
+                    0.0,
+                );
+                pe_bom.push("scaled register write", 1.0, p.reg_write_fj_per_bit * wide, 0.0);
+                pe_bom.push("dequant right-shift", 1.0, p.shift_fj_per_bit * wide, 0.0);
+                pe_bom.push("clip + truncate", 1.0, p.add_fj_per_bit * n, 0.0);
+                pe_bom.push("activation unit", 1.0, p.add_fj_per_bit * n, 0.0);
+            }
+            PeKind::HfInt => {
+                pe_bom.push("exp_bias adders (w+a)", 2.0, p.add_fj_per_bit * (e + 2.0), 0.0);
+                pe_bom.push("exp_bias shift", 1.0, p.shift_fj_per_bit * a, 0.0);
+                pe_bom.push(
+                    "int→float converter (prio-encode)",
+                    1.0,
+                    p.add_fj_per_bit * a,
+                    0.0,
+                );
+                pe_bom.push("int→float converter (normalize)", 1.0, p.shift_fj_per_bit * a, 0.0);
+                pe_bom.push("output register write", 1.0, p.reg_write_fj_per_bit * n, 0.0);
+                pe_bom.push("activation unit", 1.0, p.add_fj_per_bit * n, 0.0);
+            }
+        }
+        // --- datapath area ---
+        let ar = &mut self.area;
+        match self.kind {
+            PeKind::Int => {
+                let w_tree = 2.0 * n + lk;
+                ar.push(
+                    format!("int multiplier {n}x{n}"),
+                    k * k,
+                    0.0,
+                    p.mult_um2_per_bit2 * n * n,
+                );
+                ar.push("adder tree element", k * k, 0.0, p.add_um2_per_bit * w_tree);
+                ar.push("weight register", k * k, 0.0, p.reg_um2_per_bit * n);
+                ar.push(
+                    "post: scaling multiplier",
+                    k,
+                    0.0,
+                    p.mult_um2_per_bit2 * a * s / 8.0,
+                );
+                ar.push("post: wide register", k, 0.0, p.reg_um2_per_bit * (a + s));
+                ar.push("post: shifter", k, 0.0, p.shift_um2_per_bit * (a + s));
+                ar.push("post: activation", k, 0.0, p.add_um2_per_bit * n);
+            }
+            PeKind::HfInt => {
+                ar.push(
+                    format!("mantissa multiplier {m1}x{m1}"),
+                    k * k,
+                    0.0,
+                    p.mult_um2_per_bit2 * m1 * m1,
+                );
+                ar.push("exponent adder", k * k, 0.0, p.add_um2_per_bit * (e + 1.0));
+                ar.push("product align shifter", k * k, 0.0, p.shift_um2_per_bit * a);
+                ar.push("adder tree element (wide)", k * k, 0.0, p.add_um2_per_bit * a);
+                ar.push("weight register", k * k, 0.0, p.reg_um2_per_bit * n);
+                ar.push("post: exp_bias adders", k, 0.0, p.add_um2_per_bit * (e + 2.0));
+                ar.push("post: shifters", k, 0.0, 2.0 * p.shift_um2_per_bit * a);
+                ar.push("post: converter adder", k, 0.0, p.add_um2_per_bit * a);
+                ar.push("post: output register", k, 0.0, p.reg_um2_per_bit * n);
+            }
+        }
+        let a_lane = p.add_um2_per_bit * a + p.reg_um2_per_bit * a + p.reg_um2_per_bit * n;
+        ar.push("lane accumulator + latches", k, 0.0, a_lane);
+        ar.push("control (fixed)", 1.0, 0.0, p.ctrl_um2_fixed);
+        ar.push("wiring/pipeline per MAC", k * k, 0.0, p.ctrl_um2_per_mac);
+    }
+
+    /// MACs retired per cycle (`K²`).
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.config.vector_size as u64).pow(2)
+    }
+
+    /// Throughput in TOPS (2 ops per MAC, at the library clock).
+    pub fn tops(&self) -> f64 {
+        2.0 * self.macs_per_cycle() as f64 * self.params.clock_ghz * 1e9 / 1e12
+    }
+
+    /// Energy of one active cycle (K² MACs + lane + control + amortized
+    /// post-processing) in fJ.
+    pub fn cycle_energy_fj(&self) -> f64 {
+        let outputs_per_cycle =
+            self.macs_per_cycle() as f64 / self.config.accum_depth as f64;
+        self.cycle_energy.energy_fj() + outputs_per_cycle * self.post_energy.energy_fj()
+    }
+
+    /// Per-operation energy in fJ/op (op = half a MAC, the paper's unit).
+    pub fn energy_per_op_fj(&self) -> f64 {
+        self.cycle_energy_fj() / (2.0 * self.macs_per_cycle() as f64)
+    }
+
+    /// Datapath area in mm² (logic only — SRAM buffers are accounted at
+    /// the accelerator level, matching how Figure 7 normalizes).
+    pub fn datapath_area_mm2(&self) -> f64 {
+        self.area.area_um2() / 1e6
+    }
+
+    /// Throughput per datapath area in TOPS/mm² (Figure 7 bottom).
+    pub fn perf_per_area(&self) -> f64 {
+        self.tops() / self.datapath_area_mm2()
+    }
+
+    /// The per-cycle energy bill of materials.
+    pub fn cycle_energy_bom(&self) -> &Bom {
+        &self.cycle_energy
+    }
+
+    /// The per-output post-processing energy bill of materials.
+    pub fn post_energy_bom(&self) -> &Bom {
+        &self.post_energy
+    }
+
+    /// The datapath area bill of materials.
+    pub fn area_bom(&self) -> &Bom {
+        &self.area
+    }
+}
+
+fn log2_ceil(x: u32) -> u32 {
+    assert!(x > 0, "log2 of zero");
+    32 - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(kind: PeKind, n: u32, k: u32) -> PeModel {
+        PeModel::new(kind, PeConfig::paper(n, k), &CostParams::finfet16())
+    }
+
+    #[test]
+    fn accumulator_widths_match_paper_names() {
+        // The paper: INT8/24/40 and HFINT8/30; HFINT4/22 and INT4/16/24.
+        assert_eq!(pe(PeKind::Int, 8, 16).name(), "INT8/24/40");
+        assert_eq!(pe(PeKind::HfInt, 8, 16).name(), "HFINT8/30");
+        assert_eq!(pe(PeKind::Int, 4, 4).name(), "INT4/16/24");
+        assert_eq!(pe(PeKind::HfInt, 4, 4).name(), "HFINT4/22");
+    }
+
+    #[test]
+    fn energy_decreases_with_vector_size() {
+        for kind in [PeKind::Int, PeKind::HfInt] {
+            for n in [4, 8] {
+                let e4 = pe(kind, n, 4).energy_per_op_fj();
+                let e8 = pe(kind, n, 8).energy_per_op_fj();
+                let e16 = pe(kind, n, 16).energy_per_op_fj();
+                assert!(e4 > e8 && e8 > e16, "{kind:?} n={n}: {e4} {e8} {e16}");
+            }
+        }
+    }
+
+    #[test]
+    fn hfint_energy_advantage_grows_with_width_and_vector() {
+        // Paper: HFINT/INT per-op energy goes from ~0.97× (4-bit, K=4)
+        // to ~0.90× (8-bit, K=16).
+        let r44 = pe(PeKind::HfInt, 4, 4).energy_per_op_fj()
+            / pe(PeKind::Int, 4, 4).energy_per_op_fj();
+        let r816 = pe(PeKind::HfInt, 8, 16).energy_per_op_fj()
+            / pe(PeKind::Int, 8, 16).energy_per_op_fj();
+        assert!(r44 <= 1.02, "4-bit K=4 ratio {r44}");
+        assert!(r816 < r44, "advantage must grow: {r44} → {r816}");
+        assert!((0.80..0.97).contains(&r816), "8-bit K=16 ratio {r816}");
+    }
+
+    #[test]
+    fn int_perf_per_area_advantage() {
+        // Paper: INT PEs are 1.04×–1.21× denser.
+        for n in [4, 8] {
+            for k in [4, 8, 16] {
+                let ratio =
+                    pe(PeKind::Int, n, k).perf_per_area() / pe(PeKind::HfInt, n, k).perf_per_area();
+                assert!(
+                    (1.0..1.35).contains(&ratio),
+                    "n={n} K={k} perf/area ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn magnitudes_near_paper() {
+        // INT8 K=16: paper 52.21 fJ/op and 2.25 TOPS/mm². Within 1.5×.
+        let m = pe(PeKind::Int, 8, 16);
+        let e = m.energy_per_op_fj();
+        let pa = m.perf_per_area();
+        assert!((35.0..80.0).contains(&e), "energy {e}");
+        assert!((1.5..3.4).contains(&pa), "perf/area {pa}");
+    }
+
+    #[test]
+    fn boms_are_populated() {
+        let m = pe(PeKind::HfInt, 8, 16);
+        assert!(m.cycle_energy_bom().len() >= 5);
+        assert!(m.post_energy_bom().len() >= 4);
+        assert!(m.area_bom().len() >= 6);
+        assert!(m.area_bom().to_table().contains("mantissa multiplier"));
+    }
+
+    #[test]
+    fn tops_formula() {
+        // K=16 → 2·256 GOPS at 1 GHz = 0.512 TOPS.
+        assert!((pe(PeKind::Int, 8, 16).tops() - 0.512).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hfint4_has_zero_mantissa_bits() {
+        let m = pe(PeKind::HfInt, 4, 4);
+        assert_eq!(m.mantissa_bits(), 0);
+        assert_eq!(m.accumulator_bits(), 22);
+    }
+}

@@ -1,0 +1,66 @@
+//! The hardware evaluation workload: an LSTM layer in a weight-stationary
+//! dataflow (the paper simulates 100 timesteps with 256 hidden units).
+
+/// An LSTM layer workload descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LstmWorkload {
+    /// Hidden state size.
+    pub hidden: usize,
+    /// Input feature size.
+    pub input: usize,
+    /// Number of timesteps simulated.
+    pub timesteps: usize,
+}
+
+impl LstmWorkload {
+    /// The paper's Table 4 workload: 100 timesteps, 256 hidden units
+    /// (input size = hidden size).
+    pub fn paper() -> Self {
+        LstmWorkload {
+            hidden: 256,
+            input: 256,
+            timesteps: 100,
+        }
+    }
+
+    /// MAC operations per timestep: 4 gates × hidden outputs ×
+    /// (input + hidden) inputs.
+    pub fn macs_per_timestep(&self) -> u64 {
+        4 * self.hidden as u64 * (self.input + self.hidden) as u64
+    }
+
+    /// Total MACs over the whole run.
+    pub fn total_macs(&self) -> u64 {
+        self.macs_per_timestep() * self.timesteps as u64
+    }
+
+    /// Total operations (2 per MAC, the paper's OPS convention).
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+
+    /// Weight footprint in parameters (4 gate matrices).
+    pub fn weight_count(&self) -> u64 {
+        4 * self.hidden as u64 * (self.input + self.hidden) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_macs() {
+        let w = LstmWorkload::paper();
+        // 4 · 256 · 512 = 524,288 MACs per timestep.
+        assert_eq!(w.macs_per_timestep(), 524_288);
+        assert_eq!(w.total_macs(), 52_428_800);
+        assert_eq!(w.total_ops(), 104_857_600);
+    }
+
+    #[test]
+    fn weights_match_gate_matrices() {
+        let w = LstmWorkload::paper();
+        assert_eq!(w.weight_count(), 524_288);
+    }
+}

@@ -1,0 +1,9 @@
+//! Synthetic datasets standing in for WMT'17, LibriSpeech, and ImageNet.
+
+pub mod images;
+pub mod speech;
+pub mod translation;
+
+pub use images::{ImageDataset, ImageSample};
+pub use speech::{SpeechDataset, SpeechSample};
+pub use translation::{TranslationDataset, TranslationSample, BOS, EOS, PAD, VOCAB};

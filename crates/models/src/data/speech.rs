@@ -1,0 +1,139 @@
+//! Toy speech-to-text task (the seq2seq model's stand-in for
+//! LibriSpeech).
+//!
+//! Each "phoneme" token has a fixed feature prototype; an utterance emits
+//! two noisy frames per token. The attention-based LSTM must segment and
+//! classify the frames — transcription quality (WER) degrades gracefully
+//! as weights are compressed.
+
+use af_tensor::Tensor;
+use rand::Rng;
+
+/// Feature dimension of each frame.
+pub const FEAT_DIM: usize = 8;
+/// Number of distinct phoneme tokens (ids `3..3+PHONEMES`; 0..2 are
+/// PAD/BOS/EOS shared with the translation vocabulary layout).
+pub const PHONEMES: usize = 8;
+/// Vocabulary size for the decoder (specials + phonemes).
+pub const VOCAB: usize = 3 + PHONEMES;
+/// Frames emitted per phoneme.
+pub const FRAMES_PER_TOKEN: usize = 2;
+
+/// One utterance: a frame matrix and its transcription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeechSample {
+    /// Frames, shape `[tokens · FRAMES_PER_TOKEN, FEAT_DIM]`.
+    pub frames: Tensor,
+    /// Ground-truth token ids (content only).
+    pub tokens: Vec<usize>,
+}
+
+/// Generator for the toy speech task.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeechDataset {
+    min_len: usize,
+    max_len: usize,
+    noise: f32,
+}
+
+impl Default for SpeechDataset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpeechDataset {
+    /// Standard configuration: 4–7 tokens per utterance, noise σ = 0.15.
+    pub fn new() -> Self {
+        SpeechDataset {
+            min_len: 4,
+            max_len: 7,
+            noise: 0.15,
+        }
+    }
+
+    /// The deterministic feature prototype of a phoneme (unit-ish vectors
+    /// spread around the feature space).
+    pub fn prototype(token: usize) -> [f32; FEAT_DIM] {
+        let mut proto = [0.0f32; FEAT_DIM];
+        for (d, p) in proto.iter_mut().enumerate() {
+            let phase = (token * 131 + d * 37) as f32 * 0.61803;
+            *p = phase.sin();
+        }
+        proto
+    }
+
+    /// Draw one utterance.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SpeechSample {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        let tokens: Vec<usize> = (0..len).map(|_| 3 + rng.gen_range(0..PHONEMES)).collect();
+        let mut frames = Vec::with_capacity(len * FRAMES_PER_TOKEN * FEAT_DIM);
+        for &t in &tokens {
+            let proto = Self::prototype(t);
+            for _ in 0..FRAMES_PER_TOKEN {
+                for &p in &proto {
+                    let noise: f32 = rng.gen_range(-1.0..1.0) * self.noise;
+                    frames.push(p + noise);
+                }
+            }
+        }
+        SpeechSample {
+            frames: Tensor::from_vec(frames, &[len * FRAMES_PER_TOKEN, FEAT_DIM]),
+            tokens,
+        }
+    }
+
+    /// Draw a batch of utterances.
+    pub fn batch<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<SpeechSample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prototypes_are_distinct() {
+        for a in 0..PHONEMES {
+            for b in (a + 1)..PHONEMES {
+                let pa = SpeechDataset::prototype(3 + a);
+                let pb = SpeechDataset::prototype(3 + b);
+                let dist: f32 = pa
+                    .iter()
+                    .zip(&pb)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f32>()
+                    .sqrt();
+                assert!(dist > 0.5, "prototypes {a} and {b} too close: {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn frames_near_prototypes() {
+        let ds = SpeechDataset::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = ds.sample(&mut rng);
+        assert_eq!(s.frames.rows(), s.tokens.len() * FRAMES_PER_TOKEN);
+        assert_eq!(s.frames.cols(), FEAT_DIM);
+        for (i, &t) in s.tokens.iter().enumerate() {
+            let proto = SpeechDataset::prototype(t);
+            let frame = s.frames.row(i * FRAMES_PER_TOKEN);
+            for (f, p) in frame.iter().zip(&proto) {
+                assert!((f - p).abs() <= 0.15 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn token_range() {
+        let ds = SpeechDataset::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in ds.batch(&mut rng, 20) {
+            assert!(s.tokens.iter().all(|&t| (3..VOCAB).contains(&t)));
+        }
+    }
+}

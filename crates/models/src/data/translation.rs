@@ -1,0 +1,127 @@
+//! Toy machine-translation task (the Transformer's stand-in for WMT'17
+//! En→De).
+//!
+//! The "language pair" is deterministic: the target is the source
+//! sequence reversed with every content token cyclically shifted. A
+//! sequence model with attention must learn both the token mapping and
+//! the reordering — enough structure for BLEU to discriminate between
+//! quantization levels.
+
+use rand::Rng;
+
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Beginning-of-sequence token id.
+pub const BOS: usize = 1;
+/// End-of-sequence token id.
+pub const EOS: usize = 2;
+/// Vocabulary size (specials + 13 content tokens).
+pub const VOCAB: usize = 16;
+
+const CONTENT_BASE: usize = 3;
+const CONTENT_COUNT: usize = VOCAB - CONTENT_BASE;
+const SHIFT: usize = 5;
+
+/// One source/target pair (content tokens only — models add BOS/EOS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationSample {
+    /// Source token ids.
+    pub src: Vec<usize>,
+    /// Reference translation token ids.
+    pub tgt: Vec<usize>,
+}
+
+/// Generator for the toy translation task.
+#[derive(Debug, Clone, Copy)]
+pub struct TranslationDataset {
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Default for TranslationDataset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TranslationDataset {
+    /// The standard configuration: sequences of 5–8 content tokens.
+    pub fn new() -> Self {
+        TranslationDataset {
+            min_len: 5,
+            max_len: 8,
+        }
+    }
+
+    /// The ground-truth "translation" of a source sequence: reverse and
+    /// cyclically shift each content token by 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` contains a special token.
+    pub fn translate(src: &[usize]) -> Vec<usize> {
+        src.iter()
+            .rev()
+            .map(|&t| {
+                assert!(t >= CONTENT_BASE && t < VOCAB, "not a content token: {t}");
+                CONTENT_BASE + ((t - CONTENT_BASE) + SHIFT) % CONTENT_COUNT
+            })
+            .collect()
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TranslationSample {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        let src: Vec<usize> = (0..len)
+            .map(|_| rng.gen_range(CONTENT_BASE..VOCAB))
+            .collect();
+        let tgt = Self::translate(&src);
+        TranslationSample { src, tgt }
+    }
+
+    /// Draw a batch of samples.
+    pub fn batch<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<TranslationSample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn translation_rule_is_reverse_and_shift() {
+        let src = vec![3, 4, 15];
+        // reversed: 15, 4, 3 → shifted: 3+((12+5)%13)=3+4=7, 3+((1+5)%13)=9, 3+5=8.
+        assert_eq!(TranslationDataset::translate(&src), vec![7, 9, 8]);
+    }
+
+    #[test]
+    fn translation_is_a_bijection_on_content() {
+        let all: Vec<usize> = (CONTENT_BASE..VOCAB).collect();
+        let mapped = TranslationDataset::translate(&all);
+        let mut sorted = mapped.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, all);
+    }
+
+    #[test]
+    fn samples_are_well_formed() {
+        let ds = TranslationDataset::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for s in ds.batch(&mut rng, 50) {
+            assert!(s.src.len() >= 5 && s.src.len() <= 8);
+            assert_eq!(s.src.len(), s.tgt.len());
+            assert!(s.src.iter().all(|&t| (CONTENT_BASE..VOCAB).contains(&t)));
+            assert_eq!(s.tgt, TranslationDataset::translate(&s.src));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a content token")]
+    fn specials_rejected() {
+        TranslationDataset::translate(&[BOS]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Classification accuracy.
+
+/// Top-1 accuracy in percent.
+///
+/// Returns `0.0` for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use af_models::metrics::top1_accuracy;
+///
+/// assert_eq!(top1_accuracy(&[1, 2, 3], &[1, 0, 3]), 200.0 / 3.0);
+/// ```
+pub fn top1_accuracy(targets: &[usize], predictions: &[usize]) -> f64 {
+    assert_eq!(
+        targets.len(),
+        predictions.len(),
+        "one prediction per target"
+    );
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = targets
+        .iter()
+        .zip(predictions)
+        .filter(|(t, p)| t == p)
+        .count();
+    100.0 * correct as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_correct() {
+        assert_eq!(top1_accuracy(&[0, 1, 2], &[0, 1, 2]), 100.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        assert_eq!(top1_accuracy(&[0, 1], &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(top1_accuracy(&[], &[]), 0.0);
+    }
+}

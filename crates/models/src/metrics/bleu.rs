@@ -1,0 +1,141 @@
+//! Corpus-level BLEU (Papineni et al. 2002) with add-one smoothing for
+//! higher-order n-grams (Lin & Och 2004) so tiny corpora don't zero out.
+
+use std::collections::HashMap;
+
+/// Corpus BLEU-4 on token-ID sequences, scaled to 0–100.
+///
+/// Modified n-gram precisions (n = 1..4) are pooled over the corpus; the
+/// geometric mean is multiplied by the brevity penalty. Higher-order
+/// counts are add-one smoothed.
+///
+/// Returns `0.0` for an empty corpus.
+///
+/// # Panics
+///
+/// Panics if `hypotheses` and `references` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use af_models::metrics::corpus_bleu;
+///
+/// let refs = vec![vec![1, 2, 3, 4, 5]];
+/// let perfect = corpus_bleu(&refs, &refs);
+/// assert!(perfect > 99.0);
+/// ```
+pub fn corpus_bleu(references: &[Vec<usize>], hypotheses: &[Vec<usize>]) -> f64 {
+    assert_eq!(
+        references.len(),
+        hypotheses.len(),
+        "one hypothesis per reference"
+    );
+    if references.is_empty() {
+        return 0.0;
+    }
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    let mut matched = [0u64; 4];
+    let mut total = [0u64; 4];
+    for (r, h) in references.iter().zip(hypotheses) {
+        hyp_len += h.len();
+        ref_len += r.len();
+        for n in 1..=4usize {
+            let ref_counts = ngram_counts(r, n);
+            let hyp_counts = ngram_counts(h, n);
+            for (gram, &count) in &hyp_counts {
+                total[n - 1] += count;
+                if let Some(&rc) = ref_counts.get(gram) {
+                    matched[n - 1] += count.min(rc);
+                }
+            }
+        }
+    }
+    let mut log_sum = 0.0f64;
+    for n in 0..4 {
+        // Add-one smoothing above unigrams.
+        let (m, t) = if n == 0 {
+            (matched[0] as f64, total[0] as f64)
+        } else {
+            (matched[n] as f64 + 1.0, total[n] as f64 + 1.0)
+        };
+        if t == 0.0 || m == 0.0 {
+            return 0.0;
+        }
+        log_sum += (m / t).ln() / 4.0;
+    }
+    let bp = if hyp_len >= ref_len || hyp_len == 0 {
+        if hyp_len == 0 {
+            return 0.0;
+        }
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len as f64).exp()
+    };
+    100.0 * bp * log_sum.exp()
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], u64> {
+    let mut counts = HashMap::new();
+    if seq.len() >= n {
+        for w in seq.windows(n) {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_near_100() {
+        let refs = vec![vec![1, 2, 3, 4, 5, 6], vec![7, 8, 9, 10]];
+        let bleu = corpus_bleu(&refs, &refs);
+        assert!(bleu > 99.0, "bleu {bleu}");
+    }
+
+    #[test]
+    fn disjoint_tokens_score_zero() {
+        let refs = vec![vec![1, 2, 3, 4]];
+        let hyps = vec![vec![5, 6, 7, 8]];
+        assert_eq!(corpus_bleu(&refs, &hyps), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let refs = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let hyps = vec![vec![1, 2, 3, 4, 9, 10, 11, 12]];
+        let bleu = corpus_bleu(&refs, &hyps);
+        assert!(bleu > 0.0 && bleu < 80.0, "bleu {bleu}");
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_output() {
+        let refs = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let full = corpus_bleu(&refs, &refs);
+        let short = corpus_bleu(&refs, &[vec![1, 2, 3, 4]]);
+        assert!(short < full, "short {short} full {full}");
+    }
+
+    #[test]
+    fn order_matters() {
+        let refs = vec![vec![1, 2, 3, 4, 5, 6]];
+        let shuffled = corpus_bleu(&refs, &[vec![6, 5, 4, 3, 2, 1]]);
+        let exact = corpus_bleu(&refs, &refs);
+        assert!(shuffled < exact * 0.6, "shuffled {shuffled} exact {exact}");
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_hypothesis() {
+        assert_eq!(corpus_bleu(&[], &[]), 0.0);
+        assert_eq!(corpus_bleu(&[vec![1, 2, 3]], &[vec![]]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one hypothesis per reference")]
+    fn mismatched_corpus_sizes_panic() {
+        corpus_bleu(&[vec![1]], &[]);
+    }
+}

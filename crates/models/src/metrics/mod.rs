@@ -1,0 +1,9 @@
+//! Task metrics: BLEU, word error rate, Top-1 accuracy.
+
+pub mod accuracy;
+pub mod bleu;
+pub mod wer;
+
+pub use accuracy::top1_accuracy;
+pub use bleu::corpus_bleu;
+pub use wer::{edit_distance, word_error_rate};

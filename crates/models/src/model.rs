@@ -1,0 +1,191 @@
+//! The [`QuantizableModel`] trait: a uniform handle over the three model
+//! families so the experiment harness (Tables 2 and 3) can sweep
+//! format × bit-width × {PTQ, QAR} without knowing the architecture.
+
+use adaptivfloat::FormatError;
+use af_nn::{Param, QuantSpec, Quantizer};
+
+/// The paper's three evaluation families (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Machine translation, BLEU (higher better). Paper FP32: 27.4.
+    Transformer,
+    /// Speech-to-text, WER (lower better). Paper FP32: 13.34.
+    Seq2Seq,
+    /// Image classification, Top-1 (higher better). Paper FP32: 76.2.
+    ResNet,
+}
+
+impl ModelFamily {
+    /// Row label used in the tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelFamily::Transformer => "Transformer",
+            ModelFamily::Seq2Seq => "Seq2Seq",
+            ModelFamily::ResNet => "ResNet",
+        }
+    }
+
+    /// The metric the paper reports for this family.
+    pub fn metric(self) -> &'static str {
+        match self {
+            ModelFamily::Transformer => "BLEU",
+            ModelFamily::Seq2Seq => "WER",
+            ModelFamily::ResNet => "Top-1",
+        }
+    }
+
+    /// Whether larger metric values are better.
+    pub fn higher_is_better(self) -> bool {
+        !matches!(self, ModelFamily::Seq2Seq)
+    }
+
+    /// The FP32 reference the paper reports (for EXPERIMENTS.md
+    /// side-by-side tables).
+    pub fn paper_fp32(self) -> f64 {
+        match self {
+            ModelFamily::Transformer => 27.4,
+            ModelFamily::Seq2Seq => 13.34,
+            ModelFamily::ResNet => 76.2,
+        }
+    }
+
+    /// The full-model weight range the paper reports (Table 1).
+    pub fn paper_weight_range(self) -> (f64, f64) {
+        match self {
+            ModelFamily::Transformer => (-12.46, 20.41),
+            ModelFamily::Seq2Seq => (-2.21, 2.39),
+            ModelFamily::ResNet => (-0.78, 1.32),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A trainable, quantizable model with a task metric.
+pub trait QuantizableModel {
+    /// Which family this model belongs to.
+    fn family(&self) -> ModelFamily;
+
+    /// Run `steps` optimizer steps of training (each step is one
+    /// mini-batch).
+    fn train_steps(&mut self, steps: usize);
+
+    /// Evaluate the task metric on `samples` held-out samples drawn from
+    /// a fixed evaluation seed (deterministic across calls).
+    fn evaluate(&mut self, samples: usize) -> f64;
+
+    /// Every trainable parameter, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Install (or clear) a fake-quantizer on all weight matrices
+    /// (rank ≥ 2 parameters; biases and norm affines stay FP32, as is
+    /// conventional).
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>);
+
+    /// Install (or clear) activation quantizers at every layer output
+    /// (ranges come from each layer's running observer).
+    fn set_act_quantizer(&mut self, quantizer: Option<Quantizer>);
+
+    /// Post-training quantization: overwrite every weight matrix with its
+    /// quantized rendering (Algorithm 1 per tensor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the spec cannot be built.
+    fn quantize_weights_ptq(&mut self, spec: QuantSpec) -> Result<(), FormatError> {
+        for p in self.params_mut() {
+            if p.value.rank() >= 2 {
+                spec.quantize_param(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reset optimizer state (fresh moments) — call after
+    /// [`restore`](Self::restore) so a new quantization cell starts from
+    /// clean training dynamics.
+    fn reset_optimizer(&mut self);
+
+    /// Copy out all parameter values (the FP32 plateau snapshot).
+    fn snapshot(&mut self) -> Vec<af_tensor::Tensor> {
+        self.params_mut().iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restore parameter values from a snapshot and zero the gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the parameter list.
+    fn restore(&mut self, snapshot: &[af_tensor::Tensor]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), snapshot.len(), "snapshot size mismatch");
+        for (p, s) in params.iter_mut().zip(snapshot) {
+            assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
+            p.value = s.clone();
+            p.zero_grad();
+        }
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Concatenated weight-matrix values (for range/statistics reports).
+    fn weight_values(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for p in self.params_mut() {
+            if p.value.rank() >= 2 {
+                out.extend_from_slice(p.value.data());
+            }
+        }
+        out
+    }
+
+    /// Per-layer weight tensors with names (for Figure 4's per-layer RMS).
+    fn weight_layers(&mut self) -> Vec<(String, Vec<f32>)> {
+        self.params_mut()
+            .into_iter()
+            .filter(|p| p.value.rank() >= 2)
+            .map(|p| (p.name.clone(), p.value.data().to_vec()))
+            .collect()
+    }
+}
+
+/// Quantization-aware retraining: install the fake-quantizer described by
+/// `spec` and fine-tune for `steps`. The quantizer stays installed, so a
+/// following [`QuantizableModel::evaluate`] measures the quantized model.
+///
+/// # Errors
+///
+/// Returns [`FormatError::InvalidBits`] if the spec cannot be built.
+pub fn retrain_quantized(
+    model: &mut dyn QuantizableModel,
+    spec: QuantSpec,
+    steps: usize,
+) -> Result<(), FormatError> {
+    let q = spec.build()?;
+    model.set_weight_quantizer(Some(q));
+    model.train_steps(steps);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_metadata_matches_paper_table1() {
+        assert_eq!(ModelFamily::Transformer.metric(), "BLEU");
+        assert_eq!(ModelFamily::Seq2Seq.metric(), "WER");
+        assert!(!ModelFamily::Seq2Seq.higher_is_better());
+        assert_eq!(ModelFamily::ResNet.paper_fp32(), 76.2);
+        let (lo, hi) = ModelFamily::Transformer.paper_weight_range();
+        assert_eq!((lo, hi), (-12.46, 20.41));
+    }
+}

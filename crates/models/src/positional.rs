@@ -1,0 +1,68 @@
+//! Sinusoidal positional encodings (Vaswani et al. 2017).
+
+use af_tensor::Tensor;
+
+/// The standard sinusoidal positional-encoding table, shape
+/// `[max_len, d_model]`: `PE(p, 2i) = sin(p / 10000^(2i/d))`,
+/// `PE(p, 2i+1) = cos(p / 10000^(2i/d))`.
+///
+/// # Panics
+///
+/// Panics if `d_model` is odd.
+///
+/// # Examples
+///
+/// ```
+/// use af_models::positional::sinusoidal;
+///
+/// let pe = sinusoidal(10, 8);
+/// assert_eq!(pe.shape(), &[10, 8]);
+/// assert_eq!(pe.at(0, 0), 0.0); // sin(0)
+/// assert_eq!(pe.at(0, 1), 1.0); // cos(0)
+/// ```
+pub fn sinusoidal(max_len: usize, d_model: usize) -> Tensor {
+    assert_eq!(d_model % 2, 0, "d_model must be even");
+    let mut pe = Tensor::zeros(&[max_len, d_model]);
+    for p in 0..max_len {
+        for i in 0..d_model / 2 {
+            let rate = 1.0f64 / 10000f64.powf(2.0 * i as f64 / d_model as f64);
+            let angle = p as f64 * rate;
+            pe.set(p, 2 * i, angle.sin() as f32);
+            pe.set(p, 2 * i + 1, angle.cos() as f32);
+        }
+    }
+    pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_distinct() {
+        let pe = sinusoidal(16, 8);
+        for a in 0..16 {
+            for b in (a + 1)..16 {
+                let dist: f32 = pe
+                    .row(a)
+                    .iter()
+                    .zip(pe.row(b))
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                assert!(dist > 1e-3, "positions {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn values_bounded() {
+        let pe = sinusoidal(32, 16);
+        assert!(pe.abs_max() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_panics() {
+        sinusoidal(4, 7);
+    }
+}

@@ -1,0 +1,265 @@
+//! A miniature residual CNN with batch normalization (the paper's
+//! ResNet-50 stand-in).
+//!
+//! Structure: conv stem → residual block (8 ch, 12×12) → strided
+//! downsample (16 ch, 6×6) → residual block → global average pool → FC.
+//! Batch norm is the load-bearing component: it is what keeps CNN weight
+//! distributions narrow (the paper's Figure 1 contrast).
+
+use af_nn::{Adam, BatchNorm, Conv2d, Layer, Linear, NodeId, Optimizer, Param, Quantizer, Tape};
+use af_tensor::Conv2dSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::images::{ImageDataset, CHANNELS, CLASSES, IMG_SIZE};
+use crate::metrics::top1_accuracy;
+use crate::model::{ModelFamily, QuantizableModel};
+
+const BATCH: usize = 16;
+
+fn spec3(cin: usize, cout: usize, stride: usize) -> Conv2dSpec {
+    Conv2dSpec {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: 3,
+        stride,
+        padding: 1,
+    }
+}
+
+fn spec1(cin: usize, cout: usize, stride: usize) -> Conv2dSpec {
+    Conv2dSpec {
+        in_channels: cin,
+        out_channels: cout,
+        kernel: 1,
+        stride,
+        padding: 0,
+    }
+}
+
+/// The miniature ResNet with its task, optimizer, and data stream.
+#[derive(Debug)]
+pub struct MiniResNet {
+    stem: Conv2d,
+    stem_bn: BatchNorm,
+    b1_conv1: Conv2d,
+    b1_bn1: BatchNorm,
+    b1_conv2: Conv2d,
+    b1_bn2: BatchNorm,
+    down: Conv2d,
+    down_bn: BatchNorm,
+    down_skip: Conv2d,
+    b2_conv1: Conv2d,
+    b2_bn1: BatchNorm,
+    b2_conv2: Conv2d,
+    b2_bn2: BatchNorm,
+    fc: Linear,
+    opt: Adam,
+    dataset: ImageDataset,
+    rng: StdRng,
+    eval_seed: u64,
+}
+
+impl MiniResNet {
+    /// Build with a training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MiniResNet {
+            stem: Conv2d::new(&mut rng, "stem", spec3(CHANNELS, 8, 1)),
+            stem_bn: BatchNorm::new("stem.bn", 8),
+            b1_conv1: Conv2d::new(&mut rng, "b1.conv1", spec3(8, 8, 1)),
+            b1_bn1: BatchNorm::new("b1.bn1", 8),
+            b1_conv2: Conv2d::new(&mut rng, "b1.conv2", spec3(8, 8, 1)),
+            b1_bn2: BatchNorm::new("b1.bn2", 8),
+            down: Conv2d::new(&mut rng, "down", spec3(8, 16, 2)),
+            down_bn: BatchNorm::new("down.bn", 16),
+            down_skip: Conv2d::new(&mut rng, "down.skip", spec1(8, 16, 2)),
+            b2_conv1: Conv2d::new(&mut rng, "b2.conv1", spec3(16, 16, 1)),
+            b2_bn1: BatchNorm::new("b2.bn1", 16),
+            b2_conv2: Conv2d::new(&mut rng, "b2.conv2", spec3(16, 16, 1)),
+            b2_bn2: BatchNorm::new("b2.bn2", 16),
+            fc: Linear::new(&mut rng, "fc", 16, CLASSES),
+            opt: Adam::new(2e-3),
+            dataset: ImageDataset::new(),
+            rng,
+            eval_seed: 0x4E57,
+        }
+    }
+
+    /// Forward a `[batch, C·H·W]` input to class logits `[batch, 10]`.
+    fn forward(&mut self, tape: &mut Tape, x: NodeId, batch: usize) -> NodeId {
+        let s = IMG_SIZE;
+        // Stem.
+        let (y, _, _) = self.stem.forward(tape, x, batch, s, s);
+        let y = self.stem_bn.forward(tape, y);
+        let y = tape.relu(y); // [batch·144, 8] channels-last
+        // Residual block 1 at 12×12, 8 channels.
+        let skip = y;
+        let x1 = tape.channels_last_to_nchw(y, batch, s, s, 8);
+        let (y, _, _) = self.b1_conv1.forward(tape, x1, batch, s, s);
+        let y = self.b1_bn1.forward(tape, y);
+        let y = tape.relu(y);
+        let x2 = tape.channels_last_to_nchw(y, batch, s, s, 8);
+        let (y, _, _) = self.b1_conv2.forward(tape, x2, batch, s, s);
+        let y = self.b1_bn2.forward(tape, y);
+        let y = tape.add(y, skip);
+        let y = tape.relu(y);
+        // Downsample to 6×6, 16 channels (strided conv + 1×1 skip).
+        let x3 = tape.channels_last_to_nchw(y, batch, s, s, 8);
+        let (main, oh, ow) = self.down.forward(tape, x3, batch, s, s);
+        let main = self.down_bn.forward(tape, main);
+        let (skip16, _, _) = self.down_skip.forward(tape, x3, batch, s, s);
+        let y = tape.add(main, skip16);
+        let y = tape.relu(y); // [batch·36, 16]
+        // Residual block 2 at 6×6, 16 channels.
+        let skip = y;
+        let x4 = tape.channels_last_to_nchw(y, batch, oh, ow, 16);
+        let (y, _, _) = self.b2_conv1.forward(tape, x4, batch, oh, ow);
+        let y = self.b2_bn1.forward(tape, y);
+        let y = tape.relu(y);
+        let x5 = tape.channels_last_to_nchw(y, batch, oh, ow, 16);
+        let (y, _, _) = self.b2_conv2.forward(tape, x5, batch, oh, ow);
+        let y = self.b2_bn2.forward(tape, y);
+        let y = tape.add(y, skip);
+        let y = tape.relu(y);
+        // Global average pool over the 36 spatial positions, then FC.
+        let pooled = tape.avg_pool_rows(y, oh * ow);
+        self.fc.forward(tape, pooled)
+    }
+
+    /// Predict labels for a stacked image batch.
+    pub fn predict(&mut self, images: &af_tensor::Tensor) -> Vec<usize> {
+        let batch = images.rows();
+        let mut tape = Tape::new();
+        let x = tape.input(images.clone());
+        let logits = self.forward(&mut tape, x, batch);
+        tape.value(logits).argmax_rows()
+    }
+
+    fn all_layers(&mut self) -> Vec<&mut dyn Layer> {
+        vec![
+            &mut self.stem,
+            &mut self.stem_bn,
+            &mut self.b1_conv1,
+            &mut self.b1_bn1,
+            &mut self.b1_conv2,
+            &mut self.b1_bn2,
+            &mut self.down,
+            &mut self.down_bn,
+            &mut self.down_skip,
+            &mut self.b2_conv1,
+            &mut self.b2_bn1,
+            &mut self.b2_conv2,
+            &mut self.b2_bn2,
+            &mut self.fc,
+        ]
+    }
+
+    fn convs(&mut self) -> Vec<&mut Conv2d> {
+        vec![
+            &mut self.stem,
+            &mut self.b1_conv1,
+            &mut self.b1_conv2,
+            &mut self.down,
+            &mut self.down_skip,
+            &mut self.b2_conv1,
+            &mut self.b2_conv2,
+        ]
+    }
+
+    /// Switch batch-norm layers between batch statistics (training) and
+    /// frozen running statistics (inference).
+    pub fn set_training(&mut self, training: bool) {
+        for layer in self.all_layers() {
+            layer.set_training(training);
+        }
+    }
+}
+
+impl QuantizableModel for MiniResNet {
+    fn family(&self) -> ModelFamily {
+        ModelFamily::ResNet
+    }
+
+    fn train_steps(&mut self, steps: usize) {
+        self.set_training(true);
+        for _ in 0..steps {
+            let (images, labels) = self.dataset.batch(&mut self.rng, BATCH);
+            let mut tape = Tape::new();
+            let x = tape.input(images);
+            let logits = self.forward(&mut tape, x, BATCH);
+            let loss = tape.cross_entropy(logits, &labels);
+            tape.backward(loss);
+            for p in self.params_mut() {
+                p.pull_grad(&tape);
+            }
+            let mut opt = std::mem::replace(&mut self.opt, Adam::new(0.0));
+            opt.step(&mut self.params_mut());
+            self.opt = opt;
+        }
+    }
+
+    fn evaluate(&mut self, samples: usize) -> f64 {
+        self.set_training(false);
+        let mut eval_rng = StdRng::seed_from_u64(self.eval_seed);
+        let (images, labels) = self.dataset.batch(&mut eval_rng, samples);
+        let preds = self.predict(&images);
+        self.set_training(true);
+        top1_accuracy(&labels, &preds)
+    }
+
+    fn reset_optimizer(&mut self) {
+        self.opt = Adam::new(2e-3);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in self.all_layers() {
+            out.extend(layer.params_mut());
+        }
+        out
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        for layer in self.all_layers() {
+            layer.set_weight_quantizer(quantizer.clone());
+        }
+    }
+
+    fn set_act_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        for conv in self.convs() {
+            conv.set_act_quantizer(quantizer.clone());
+        }
+        self.fc.set_act_quantizer(quantizer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = MiniResNet::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (images, _) = m.dataset.batch(&mut rng, 4);
+        let preds = m.predict(&images);
+        assert_eq!(preds.len(), 4);
+        assert!(preds.iter().all(|&p| p < CLASSES));
+    }
+
+    #[test]
+    fn untrained_accuracy_near_chance() {
+        let mut m = MiniResNet::new(2);
+        let acc = m.evaluate(40);
+        assert!(acc < 50.0, "untrained accuracy {acc}");
+    }
+
+    #[test]
+    fn train_step_moves_weights() {
+        let mut m = MiniResNet::new(3);
+        let before: Vec<f32> = m.fc.w.value.data().to_vec();
+        m.train_steps(1);
+        assert_ne!(m.fc.w.value.data(), &before[..]);
+    }
+}

@@ -1,0 +1,287 @@
+//! A miniature attention-based LSTM sequence-to-sequence model (the
+//! paper's speech-to-text network, scaled to the toy task).
+//!
+//! Structure mirrors the paper's: a stacked LSTM encoder over feature
+//! frames, a single-layer LSTM decoder with dot-product attention over
+//! the encoder outputs, and a joint `[hidden, context] → vocab`
+//! classifier.
+
+use af_nn::{
+    Adam, Embedding, Layer, Linear, Lstm, NodeId, Optimizer, Param, Quantizer, Tape,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::data::speech::{SpeechDataset, FEAT_DIM, VOCAB};
+use crate::data::translation::{BOS, EOS};
+use crate::metrics::word_error_rate;
+use crate::model::{ModelFamily, QuantizableModel};
+
+const HIDDEN: usize = 32;
+const EMB: usize = 16;
+const BATCH: usize = 8;
+
+/// The miniature seq2seq model with its task, optimizer, and data stream.
+#[derive(Debug)]
+pub struct Seq2Seq {
+    enc1: Lstm,
+    enc2: Lstm,
+    dec: Lstm,
+    emb: Embedding,
+    attn_query: Linear,
+    out: Linear,
+    opt: Adam,
+    dataset: SpeechDataset,
+    rng: StdRng,
+    eval_seed: u64,
+}
+
+impl Seq2Seq {
+    /// Build with a training seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Seq2Seq {
+            enc1: Lstm::new(&mut rng, "enc1", FEAT_DIM, HIDDEN),
+            enc2: Lstm::new(&mut rng, "enc2", HIDDEN, HIDDEN),
+            dec: Lstm::new(&mut rng, "dec", EMB + HIDDEN, HIDDEN),
+            emb: Embedding::new(&mut rng, "dec.emb", VOCAB, EMB),
+            attn_query: Linear::new(&mut rng, "attn.q", HIDDEN, HIDDEN),
+            out: Linear::new(&mut rng, "out", 2 * HIDDEN, VOCAB),
+            opt: Adam::new(2e-3),
+            dataset: SpeechDataset::new(),
+            rng,
+            eval_seed: 0x5E72,
+        }
+    }
+
+    /// Encode the frame matrix into a `[frames, HIDDEN]` memory node.
+    fn encode(&mut self, tape: &mut Tape, frames: &af_tensor::Tensor) -> NodeId {
+        let t = frames.rows();
+        let frame_nodes: Vec<NodeId> = (0..t)
+            .map(|i| {
+                tape.input(af_tensor::Tensor::from_vec(
+                    frames.row(i).to_vec(),
+                    &[1, FEAT_DIM],
+                ))
+            })
+            .collect();
+        let init1 = self.enc1.zero_state(tape, 1);
+        let (h1, _) = self.enc1.forward_seq(tape, &frame_nodes, init1);
+        let init2 = self.enc2.zero_state(tape, 1);
+        let (h2, _) = self.enc2.forward_seq(tape, &h1, init2);
+        tape.concat_rows(&h2)
+    }
+
+    /// One decoder step: previous token + previous context → logits and
+    /// the new context.
+    fn decode_step(
+        &mut self,
+        tape: &mut Tape,
+        prev_token: usize,
+        context: NodeId,
+        state: af_nn::LstmState,
+        memory: NodeId,
+    ) -> (NodeId, NodeId, af_nn::LstmState) {
+        let e = self.emb.forward(tape, &[prev_token]);
+        let x = tape.concat_cols(&[e, context]);
+        let state = self.dec.step(tape, x, state);
+        // Dot-product attention: q = Wq·h, scores = q · memoryᵀ.
+        let q = self.attn_query.forward(tape, state.h);
+        let scores = tape.matmul_t(q, memory);
+        let scores = tape.scale(scores, 1.0 / (HIDDEN as f32).sqrt());
+        let attn = tape.softmax(scores);
+        let new_context = tape.matmul(attn, memory);
+        let hc = tape.concat_cols(&[state.h, new_context]);
+        let logits = self.out.forward(tape, hc);
+        (logits, new_context, state)
+    }
+
+    /// Mean teacher-forced cross-entropy on fresh samples (a training
+    /// diagnostic: decoding quality should track this loss).
+    pub fn teacher_forced_loss(&mut self, samples: usize) -> f32 {
+        let mut eval_rng = StdRng::seed_from_u64(self.eval_seed ^ 0xABCD);
+        let set = self.dataset.batch(&mut eval_rng, samples);
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for sample in &set {
+            let mut tape = Tape::new();
+            let memory = self.encode(&mut tape, &sample.frames);
+            let mut state = self.dec.zero_state(&mut tape, 1);
+            let mut context = tape.input(af_tensor::Tensor::zeros(&[1, HIDDEN]));
+            let mut prev = BOS;
+            let mut targets = sample.tokens.clone();
+            targets.push(EOS);
+            for &target in &targets {
+                let (logits, ctx, st) = self.decode_step(&mut tape, prev, context, state, memory);
+                context = ctx;
+                state = st;
+                let l = tape.cross_entropy(logits, &[target]);
+                total += tape.value(l).data()[0];
+                count += 1;
+                prev = target;
+            }
+        }
+        total / count.max(1) as f32
+    }
+
+    /// Greedy transcription of one utterance.
+    pub fn greedy_decode(&mut self, frames: &af_tensor::Tensor) -> Vec<usize> {
+        let max_out = frames.rows() / 2 + 3;
+        let mut tape = Tape::new();
+        let memory = self.encode(&mut tape, frames);
+        let mut state = self.dec.zero_state(&mut tape, 1);
+        let mut context = tape.input(af_tensor::Tensor::zeros(&[1, HIDDEN]));
+        let mut prev = BOS;
+        let mut out = Vec::new();
+        for _ in 0..max_out {
+            let (logits, ctx, st) = self.decode_step(&mut tape, prev, context, state, memory);
+            context = ctx;
+            state = st;
+            let next = tape
+                .value(logits)
+                .row(0)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .unwrap_or(EOS);
+            if next == EOS {
+                break;
+            }
+            out.push(next);
+            prev = next;
+        }
+        out
+    }
+
+    fn all_layers(&mut self) -> Vec<&mut dyn Layer> {
+        vec![
+            &mut self.enc1,
+            &mut self.enc2,
+            &mut self.dec,
+            &mut self.emb,
+            &mut self.attn_query,
+            &mut self.out,
+        ]
+    }
+}
+
+impl QuantizableModel for Seq2Seq {
+    fn family(&self) -> ModelFamily {
+        ModelFamily::Seq2Seq
+    }
+
+    fn train_steps(&mut self, steps: usize) {
+        for _ in 0..steps {
+            let batch = self.dataset.batch(&mut self.rng, BATCH);
+            for sample in &batch {
+                let mut tape = Tape::new();
+                let memory = self.encode(&mut tape, &sample.frames);
+                let mut state = self.dec.zero_state(&mut tape, 1);
+                let mut context = tape.input(af_tensor::Tensor::zeros(&[1, HIDDEN]));
+                let mut prev = BOS;
+                let mut step_losses = Vec::new();
+                let mut targets = sample.tokens.clone();
+                targets.push(EOS);
+                for &target in &targets {
+                    let (logits, ctx, st) =
+                        self.decode_step(&mut tape, prev, context, state, memory);
+                    context = ctx;
+                    state = st;
+                    step_losses.push(tape.cross_entropy(logits, &[target]));
+                    prev = target; // teacher forcing
+                }
+                // Mean of the per-step scalar losses.
+                let mut total = step_losses[0];
+                for &l in &step_losses[1..] {
+                    total = tape.add(total, l);
+                }
+                let loss = tape.scale(total, 1.0 / step_losses.len() as f32);
+                let loss = tape.sum_all(loss);
+                tape.backward(loss);
+                for p in self.params_mut() {
+                    p.pull_grad(&tape);
+                }
+            }
+            let mut opt = std::mem::replace(&mut self.opt, Adam::new(0.0));
+            let mut params = self.params_mut();
+            af_nn::clip_grad_norm(&mut params, 5.0);
+            opt.step(&mut params);
+            drop(params);
+            self.opt = opt;
+        }
+    }
+
+    fn evaluate(&mut self, samples: usize) -> f64 {
+        let mut eval_rng = StdRng::seed_from_u64(self.eval_seed);
+        let eval_set = self.dataset.batch(&mut eval_rng, samples);
+        let mut refs = Vec::with_capacity(samples);
+        let mut hyps = Vec::with_capacity(samples);
+        for s in &eval_set {
+            hyps.push(self.greedy_decode(&s.frames));
+            refs.push(s.tokens.clone());
+        }
+        word_error_rate(&refs, &hyps)
+    }
+
+    fn reset_optimizer(&mut self) {
+        self.opt = Adam::new(2e-3);
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in self.all_layers() {
+            out.extend(layer.params_mut());
+        }
+        out
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        for layer in self.all_layers() {
+            layer.set_weight_quantizer(quantizer.clone());
+        }
+    }
+
+    fn set_act_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.enc1.gates.set_act_quantizer(quantizer.clone());
+        self.enc2.gates.set_act_quantizer(quantizer.clone());
+        self.dec.gates.set_act_quantizer(quantizer.clone());
+        self.attn_query.set_act_quantizer(quantizer.clone());
+        self.out.set_act_quantizer(quantizer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_wer_is_high() {
+        let mut m = Seq2Seq::new(1);
+        let wer = m.evaluate(8);
+        assert!(wer > 50.0, "untrained WER {wer}");
+    }
+
+    #[test]
+    fn decode_respects_vocab() {
+        let mut m = Seq2Seq::new(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = m.dataset.sample(&mut rng);
+        let out = m.greedy_decode(&s.frames);
+        assert!(out.iter().all(|&t| t < VOCAB));
+    }
+
+    #[test]
+    fn training_step_moves_params() {
+        let mut m = Seq2Seq::new(3);
+        let before: Vec<f32> = m.out.w.value.data().to_vec();
+        m.train_steps(1);
+        assert_ne!(m.out.w.value.data(), &before[..]);
+    }
+
+    #[test]
+    fn eval_deterministic() {
+        let mut m = Seq2Seq::new(4);
+        assert_eq!(m.evaluate(4), m.evaluate(4));
+    }
+}

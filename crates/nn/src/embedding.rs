@@ -1,0 +1,84 @@
+//! Token embedding table.
+
+use af_tensor::randn;
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::param::Param;
+use crate::quant::Quantizer;
+use crate::tape::{NodeCache, NodeId, Tape};
+
+/// A `[vocab, dim]` embedding lookup with optional weight quantization
+/// (embeddings count as quantized layers — the paper quantizes *all*
+/// layers, including the usually-skipped first and last).
+#[derive(Debug)]
+pub struct Embedding {
+    /// The table parameter, shape `[vocab, dim]`.
+    pub table: Param,
+    weight_quant: Option<Quantizer>,
+    quant_cache: NodeCache,
+}
+
+impl Embedding {
+    /// Gaussian-initialized table (`std = 0.5/sqrt(dim)`).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, vocab: usize, dim: usize) -> Self {
+        let std = 0.5 / (dim as f32).sqrt();
+        Embedding {
+            table: Param::new(format!("{name}.table"), randn(rng, &[vocab, dim], std)),
+            weight_quant: None,
+            quant_cache: NodeCache::new(),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Look up `indices`, returning a `[len, dim]` node.
+    pub fn forward(&mut self, tape: &mut Tape, indices: &[usize]) -> NodeId {
+        let mut t = self.table.bind(tape);
+        if let Some(q) = &self.weight_quant {
+            t = self.quant_cache.get_or_insert_with(tape, |tp| tp.fake_quant(t, q));
+        }
+        tape.embedding(t, indices)
+    }
+}
+
+impl Layer for Embedding {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.weight_quant = quantizer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_and_grad() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(&mut rng, "emb", 5, 3);
+        let mut tape = Tape::new();
+        let y = emb.forward(&mut tape, &[1, 1, 4]);
+        assert_eq!(tape.value(y).shape(), &[3, 3]);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        emb.table.pull_grad(&tape);
+        // Row 1 hit twice, row 4 once, others zero.
+        assert_eq!(emb.table.grad.row(1), &[2.0, 2.0, 2.0]);
+        assert_eq!(emb.table.grad.row(4), &[1.0, 1.0, 1.0]);
+        assert_eq!(emb.table.grad.row(0), &[0.0, 0.0, 0.0]);
+    }
+}

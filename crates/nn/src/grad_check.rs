@@ -1,0 +1,82 @@
+//! Numerical gradient checking for the autograd engine.
+//!
+//! Every op's backward rule is validated against central finite
+//! differences (see `crates/nn/tests/grad_check.rs` for the per-op suite).
+
+use af_tensor::Tensor;
+
+use crate::tape::{NodeId, Tape};
+
+/// Compare the analytic gradient of `build`'s scalar output with central
+/// finite differences at `x0`, returning the maximum relative error.
+///
+/// `build` must construct the graph on the given tape from the provided
+/// input node and return the scalar loss node. It is called `2·len + 1`
+/// times and must be deterministic.
+///
+/// # Panics
+///
+/// Panics if `build` returns a non-scalar node.
+pub fn check_gradient(x0: &Tensor, build: impl Fn(&mut Tape, NodeId) -> NodeId) -> f64 {
+    let eps = 1e-3f32;
+    // Analytic gradient.
+    let mut tape = Tape::new();
+    let x = tape.input(x0.clone());
+    let loss = build(&mut tape, x);
+    tape.backward(loss);
+    let analytic = tape
+        .grad(x)
+        .cloned()
+        .unwrap_or_else(|| Tensor::zeros(x0.shape()));
+    // Finite differences.
+    let eval = |t: &Tensor| -> f64 {
+        let mut tape = Tape::new();
+        let x = tape.input(t.clone());
+        let loss = build(&mut tape, x);
+        tape.value(loss).data()[0] as f64
+    };
+    let mut max_rel = 0.0f64;
+    for i in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[i] -= eps;
+        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps as f64);
+        let a = analytic.data()[i] as f64;
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        let rel = (a - numeric).abs() / denom;
+        max_rel = max_rel.max(rel);
+    }
+    max_rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_correct_gradient() {
+        let x0 = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]);
+        let err = check_gradient(&x0, |t, x| {
+            let y = t.tanh(x);
+            t.sum_all(y)
+        });
+        assert!(err < 1e-3, "rel err {err}");
+    }
+
+    #[test]
+    fn would_catch_a_wrong_rule() {
+        // A deliberately wrong "gradient": compare sum(x²)'s analytic grad
+        // against the finite difference of sum(2x²) — must disagree.
+        let x0 = Tensor::from_vec(vec![0.5, 1.5], &[1, 2]);
+        let mut tape = Tape::new();
+        let x = tape.input(x0.clone());
+        let sq = tape.mul(x, x);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        let analytic = tape.grad(x).unwrap().clone();
+        // d/dx of 2x² is 4x ≠ 2x.
+        assert!((analytic.data()[0] - 1.0).abs() < 1e-5);
+        assert!((analytic.data()[0] - 2.0).abs() > 0.5);
+    }
+}

@@ -1,0 +1,57 @@
+//! The [`Layer`] trait tying parameters, forward passes, and quantization
+//! together.
+
+use crate::param::Param;
+use crate::quant::Quantizer;
+
+/// A trainable network component.
+///
+/// Layers bind their parameters into a fresh [`Tape`](crate::Tape) on each
+/// forward call (hence `&mut self`), so the trainer can pull gradients
+/// afterwards via [`params_mut`](Layer::params_mut).
+pub trait Layer {
+    /// Mutable access to every parameter, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Set the weight quantizer used in the forward pass (`None` disables
+    /// fake quantization). The default ignores the call — override in
+    /// layers with quantizable weights.
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        let _ = quantizer;
+    }
+
+    /// Switch between training and inference behaviour (batch-norm
+    /// statistics etc.). Default: no-op.
+    fn set_training(&mut self, training: bool) {
+        let _ = training;
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_tensor::Tensor;
+
+    struct Dummy {
+        w: Param,
+    }
+
+    impl Layer for Dummy {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.w]
+        }
+    }
+
+    #[test]
+    fn param_count_sums_elements() {
+        let mut d = Dummy {
+            w: Param::new("w", Tensor::zeros(&[3, 4])),
+        };
+        assert_eq!(d.param_count(), 12);
+    }
+}

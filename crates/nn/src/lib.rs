@@ -1,0 +1,56 @@
+//! # af-nn — autograd, layers, and quantization-aware training
+//!
+//! A compact reverse-mode automatic-differentiation engine ([`Tape`])
+//! over `af-tensor`, the neural-network layers needed by the paper's three
+//! model families (Linear, Conv2d, BatchNorm, LayerNorm, Embedding, LSTM,
+//! multi-head attention), optimizers (SGD, Adam), and the quantization
+//! machinery that makes the AdaptivFloat experiments possible:
+//!
+//! * **fake-quantization ops** with a straight-through estimator for
+//!   quantization-aware retraining (the paper's "QAR" rows),
+//! * **post-training quantization** of layer weights (the "PTQ" rows),
+//! * **activation observers** that calibrate per-layer ranges from offline
+//!   batch statistics (the paper's Table 3 weight+activation setting).
+//!
+//! ```
+//! use af_nn::{Tape, Param};
+//! use af_tensor::Tensor;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+//! let y = tape.scale(x, 3.0);
+//! let loss = tape.sum_all(y);
+//! tape.backward(loss);
+//! assert_eq!(tape.grad(x).unwrap().data(), &[3.0, 3.0]);
+//! # let _ = Param::new("unused", Tensor::zeros(&[1]));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod attention;
+pub mod conv;
+pub mod embedding;
+pub mod grad_check;
+pub mod layer;
+pub mod linear;
+pub mod lstm;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod prune;
+pub mod quant;
+pub mod tape;
+
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2d;
+pub use embedding::Embedding;
+pub use layer::Layer;
+pub use linear::Linear;
+pub use lstm::{Lstm, LstmState};
+pub use norm::{BatchNorm, LayerNorm};
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use param::Param;
+pub use prune::{prune_param, prune_weights, weight_sparsity, PruneReport};
+pub use quant::{ActObserver, QuantSpec, Quantizer};
+pub use tape::{NodeId, Tape};

@@ -1,0 +1,191 @@
+//! Fully-connected layer with optional weight fake-quantization and
+//! activation observation.
+
+use af_tensor::{xavier_uniform, Tensor};
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::param::Param;
+use crate::quant::{ActObserver, Quantizer};
+use crate::tape::{NodeCache, NodeId, Tape};
+
+/// `y = x · Wᵀ + b` with `W: [out, in]`.
+///
+/// When a weight quantizer is installed, the bound weight node is passed
+/// through a fake-quant op (STE backward); when an activation quantizer is
+/// installed the *output* is observed/quantized, reproducing the paper's
+/// weight-and-activation setting.
+#[derive(Debug)]
+pub struct Linear {
+    /// Weight parameter, shape `[out, in]`.
+    pub w: Param,
+    /// Bias parameter, shape `[out]`.
+    pub b: Param,
+    weight_quant: Option<Quantizer>,
+    quant_cache: NodeCache,
+    act_quant: Option<Quantizer>,
+    /// Output-range observer for activation quantization.
+    pub observer: ActObserver,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, in_dim: usize, out_dim: usize) -> Self {
+        Linear {
+            w: Param::new(format!("{name}.w"), xavier_uniform(rng, &[out_dim, in_dim])),
+            b: Param::new(format!("{name}.b"), Tensor::zeros(&[out_dim])),
+            weight_quant: None,
+            quant_cache: NodeCache::new(),
+            act_quant: None,
+            observer: ActObserver::new(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Install (or clear) an activation quantizer on the output.
+    pub fn set_act_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.act_quant = quantizer;
+    }
+
+    /// Forward through a tape: binds parameters, applies quantizers.
+    pub fn forward(&mut self, tape: &mut Tape, x: NodeId) -> NodeId {
+        let mut w = self.w.bind(tape);
+        if let Some(q) = &self.weight_quant {
+            // Quantize the bound weight once per tape, even when this
+            // layer forwards at every timestep of an unrolled RNN.
+            w = self.quant_cache.get_or_insert_with(tape, |t| t.fake_quant(w, q));
+        }
+        let b = self.b.bind(tape);
+        let y = tape.matmul_t(x, w);
+        let mut y = tape.add_row(y, b);
+        self.observer.observe(tape.value(y).data());
+        if let Some(q) = &self.act_quant {
+            let max = self.observer.max_abs();
+            y = tape.fake_quant_with_max(y, q, max);
+        }
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.weight_quant = quantizer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivfloat::{AdaptivFloat, NumberFormat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(&mut rng, "fc", 3, 2);
+        layer.b.value = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(&[4, 3]));
+        let y = layer.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), &[4, 2]);
+        // Zero input → pure bias.
+        assert_eq!(tape.value(y).row(0), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(&mut rng, "fc", 2, 2);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[1, 2]));
+        let y = layer.forward(&mut tape, x);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        for p in layer.params_mut() {
+            p.pull_grad(&tape);
+            assert!(p.grad.data().iter().any(|&g| g != 0.0), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn weight_quantizer_changes_forward_not_master() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new(&mut rng, "fc", 8, 8);
+        let master = layer.w.value.clone();
+        let fmt: Quantizer = Arc::new(AdaptivFloat::new(4, 2).unwrap());
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[1, 8]));
+        let y_fp = layer.forward(&mut tape, x);
+        layer.set_weight_quantizer(Some(fmt.clone()));
+        let y_q = layer.forward(&mut tape, x);
+        assert_ne!(tape.value(y_fp).data(), tape.value(y_q).data());
+        // The master copy is untouched (QAT trains FP32 weights).
+        assert_eq!(layer.w.value.data(), master.data());
+        // And the quantized forward equals using pre-quantized weights.
+        let wq = fmt.quantize_slice(master.data());
+        let manual = Tensor::from_vec(wq, master.shape());
+        let expect = Tensor::ones(&[1, 8]).matmul_t(&manual);
+        for (a, b) in tape.value(y_q).data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_weight_node_cached_per_tape() {
+        // An RNN-style double forward on one tape must not re-quantize
+        // the weight; a fresh tape must.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = Linear::new(&mut rng, "fc", 4, 4);
+        let fmt: Quantizer = Arc::new(AdaptivFloat::new(8, 3).unwrap());
+        layer.set_weight_quantizer(Some(fmt));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[1, 4]));
+        let _ = layer.forward(&mut tape, x);
+        let after_first = tape.len();
+        let _ = layer.forward(&mut tape, x);
+        let after_second = tape.len();
+        // Second forward adds matmul + bias + (no param bind, no quant):
+        // strictly fewer nodes than the first.
+        assert!(after_second - after_first < after_first);
+        // A fresh tape re-binds and re-quantizes without panicking, and
+        // produces identical output values.
+        let mut tape2 = Tape::new();
+        let x2 = tape2.input(Tensor::ones(&[1, 4]));
+        let y2 = layer.forward(&mut tape2, x2);
+        let mut tape3 = Tape::new();
+        let x3 = tape3.input(Tensor::ones(&[1, 4]));
+        let y3 = layer.forward(&mut tape3, x3);
+        assert_eq!(tape2.value(y2).data(), tape3.value(y3).data());
+    }
+
+    #[test]
+    fn act_quantizer_uses_calibrated_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Linear::new(&mut rng, "fc", 2, 2);
+        let fmt: Quantizer = Arc::new(AdaptivFloat::new(8, 3).unwrap());
+        layer.set_act_quantizer(Some(fmt));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[1, 2]));
+        let y = layer.forward(&mut tape, x);
+        // Output is on an 8-bit grid — requantizing is a no-op.
+        let out = tape.value(y).data().to_vec();
+        let fmt2 = AdaptivFloat::new(8, 3).unwrap();
+        let again = fmt2.quantize_slice_with_max(layer.observer.max_abs(), &out);
+        assert_eq!(out, again);
+    }
+}

@@ -1,0 +1,168 @@
+//! A single-layer LSTM (the workhorse of the paper's seq2seq model and of
+//! the hardware evaluation's 100-timestep workload).
+
+use af_tensor::Tensor;
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::param::Param;
+use crate::quant::Quantizer;
+use crate::tape::{NodeId, Tape};
+
+/// Recurrent state: hidden and cell nodes, both `[batch, hidden]`.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state node.
+    pub h: NodeId,
+    /// Cell state node.
+    pub c: NodeId,
+}
+
+/// LSTM cell with fused gate projection
+/// `z = [x, h] · Wᵀ + b`, `W: [4·hidden, input+hidden]`,
+/// gate order `i, f, g, o`.
+#[derive(Debug)]
+pub struct Lstm {
+    /// The fused gate projection.
+    pub gates: Linear,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// New LSTM with `input`-dim inputs and `hidden`-dim state.
+    /// The forget-gate bias is initialized to 1 (standard practice).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, input: usize, hidden: usize) -> Self {
+        let mut gates = Linear::new(rng, &format!("{name}.gates"), input + hidden, 4 * hidden);
+        for i in hidden..2 * hidden {
+            gates.b.value.data_mut()[i] = 1.0;
+        }
+        Lstm { gates, hidden }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh all-zero state for a batch.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> LstmState {
+        LstmState {
+            h: tape.input(Tensor::zeros(&[batch, self.hidden])),
+            c: tape.input(Tensor::zeros(&[batch, self.hidden])),
+        }
+    }
+
+    /// One timestep: consumes `[batch, input]` and the previous state,
+    /// returns the new state (whose `h` is the step output).
+    pub fn step(&mut self, tape: &mut Tape, x: NodeId, state: LstmState) -> LstmState {
+        let xh = tape.concat_cols(&[x, state.h]);
+        let z = self.gates.forward(tape, xh);
+        let hd = self.hidden;
+        let i = tape.slice_cols(z, 0, hd);
+        let f = tape.slice_cols(z, hd, hd);
+        let g = tape.slice_cols(z, 2 * hd, hd);
+        let o = tape.slice_cols(z, 3 * hd, hd);
+        let i = tape.sigmoid(i);
+        let f = tape.sigmoid(f);
+        let g = tape.tanh(g);
+        let o = tape.sigmoid(o);
+        let fc = tape.mul(f, state.c);
+        let ig = tape.mul(i, g);
+        let c = tape.add(fc, ig);
+        let tc = tape.tanh(c);
+        let h = tape.mul(o, tc);
+        LstmState { h, c }
+    }
+
+    /// Run a whole sequence, returning the per-step hidden nodes and the
+    /// final state.
+    pub fn forward_seq(
+        &mut self,
+        tape: &mut Tape,
+        inputs: &[NodeId],
+        init: LstmState,
+    ) -> (Vec<NodeId>, LstmState) {
+        let mut state = init;
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            state = self.step(tape, x, state);
+            outputs.push(state.h);
+        }
+        (outputs, state)
+    }
+}
+
+impl Layer for Lstm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.gates.params_mut()
+    }
+
+    fn set_weight_quantizer(&mut self, quantizer: Option<Quantizer>) {
+        self.gates.set_weight_quantizer(quantizer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn state_shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lstm = Lstm::new(&mut rng, "lstm", 3, 4);
+        let mut tape = Tape::new();
+        let init = lstm.zero_state(&mut tape, 2);
+        let x = tape.input(Tensor::ones(&[2, 3]));
+        let s = lstm.step(&mut tape, x, init);
+        assert_eq!(tape.value(s.h).shape(), &[2, 4]);
+        // h = o·tanh(c) is bounded by (−1, 1).
+        assert!(tape.value(s.h).data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(&mut rng, "lstm", 2, 3);
+        let b = lstm.gates.b.value.data();
+        assert_eq!(&b[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&b[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sequence_unroll_backprops_through_time() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(&mut rng, "lstm", 2, 3);
+        let mut tape = Tape::new();
+        let init = lstm.zero_state(&mut tape, 1);
+        let xs: Vec<NodeId> = (0..5)
+            .map(|i| tape.input(Tensor::full(&[1, 2], 0.1 * i as f32)))
+            .collect();
+        let (outs, _) = lstm.forward_seq(&mut tape, &xs, init);
+        assert_eq!(outs.len(), 5);
+        let last = *outs.last().unwrap();
+        let loss = tape.sum_all(last);
+        tape.backward(loss);
+        // Gradient flows all the way back to the first input.
+        let g0 = tape.grad(xs[0]).expect("grad to first input");
+        assert!(g0.data().iter().any(|&g| g != 0.0));
+        lstm.gates.w.pull_grad(&tape);
+        assert!(lstm.gates.w.grad.data().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_is_stable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(&mut rng, "lstm", 2, 2);
+        // Zero the biases so the cell has no drive at all.
+        lstm.gates.b.value = Tensor::zeros(&[8]);
+        let mut tape = Tape::new();
+        let init = lstm.zero_state(&mut tape, 1);
+        let x = tape.input(Tensor::zeros(&[1, 2]));
+        let s = lstm.step(&mut tape, x, init);
+        // tanh(g)=0 → c stays 0 → h = o·tanh(0) = 0.
+        assert!(tape.value(s.h).data().iter().all(|&v| v == 0.0));
+    }
+}

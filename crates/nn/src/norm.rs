@@ -1,0 +1,223 @@
+//! Layer normalization and batch normalization.
+//!
+//! The paper's central observation hinges on these two: batch norm
+//! (ResNet) reparameterizes weights into narrow distributions, while layer
+//! norm (Transformer, seq2seq) does not — producing the wide, heavy-tailed
+//! weights that break fixed-range formats.
+
+use af_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::param::Param;
+use crate::tape::{NodeId, Tape};
+
+/// Row-wise layer normalization with learned affine parameters.
+#[derive(Debug)]
+pub struct LayerNorm {
+    /// Scale, shape `[dim]`.
+    pub gamma: Param,
+    /// Shift, shape `[dim]`.
+    pub beta: Param,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Unit-gamma, zero-beta layer norm over `dim` features.
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Forward through a tape.
+    pub fn forward(&mut self, tape: &mut Tape, x: NodeId) -> NodeId {
+        let g = self.gamma.bind(tape);
+        let b = self.beta.bind(tape);
+        tape.layer_norm(x, g, b, self.eps)
+    }
+}
+
+impl Layer for LayerNorm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+/// Per-feature (column) batch normalization with running statistics.
+///
+/// In training mode it normalizes with batch statistics and updates
+/// exponential running averages; in inference mode it applies the frozen
+/// running statistics as a per-column affine map.
+#[derive(Debug)]
+pub struct BatchNorm {
+    /// Scale, shape `[dim]`.
+    pub gamma: Param,
+    /// Shift, shape `[dim]`.
+    pub beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    training: bool,
+}
+
+impl BatchNorm {
+    /// Fresh batch norm over `dim` features (running stats at 0 mean /
+    /// unit variance).
+    pub fn new(name: &str, dim: usize) -> Self {
+        BatchNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            eps: 1e-5,
+            training: true,
+        }
+    }
+
+    /// The frozen running mean.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The frozen running variance.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Forward through a tape. Rows are samples (or spatial positions),
+    /// columns are features/channels.
+    pub fn forward(&mut self, tape: &mut Tape, x: NodeId) -> NodeId {
+        if self.training {
+            let g = self.gamma.bind(tape);
+            let b = self.beta.bind(tape);
+            let (y, mean, var) = tape.batch_norm(x, g, b, self.eps);
+            for c in 0..mean.len() {
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+            }
+            y
+        } else {
+            // Inference: an affine map with frozen statistics, expressed
+            // with differentiable ops so QAR can still fine-tune γ/β.
+            let g = self.gamma.bind(tape);
+            let b = self.beta.bind(tape);
+            let dim = self.running_mean.len();
+            let scale: Vec<f32> = self
+                .running_var
+                .iter()
+                .map(|&v| 1.0 / (v + self.eps).sqrt())
+                .collect();
+            let neg_mean_scaled: Vec<f32> = self
+                .running_mean
+                .iter()
+                .zip(&scale)
+                .map(|(&m, &s)| -m * s)
+                .collect();
+            let scale_node = tape.input(Tensor::from_vec(scale, &[dim]));
+            let shift_node = tape.input(Tensor::from_vec(neg_mean_scaled, &[dim]));
+            // xhat = x*scale + shift (broadcast rows), y = xhat*gamma + beta
+            let rows = tape.value(x).rows();
+            let scale_mat = broadcast_rows(tape, scale_node, rows);
+            let xs = tape.mul(x, scale_mat);
+            let xhat = tape.add_row(xs, shift_node);
+            let gamma_mat = broadcast_rows(tape, g, rows);
+            let xg = tape.mul(xhat, gamma_mat);
+            tape.add_row(xg, b)
+        }
+    }
+}
+
+/// Tile a rank-1 node into `rows` identical rows (constant w.r.t. grads
+/// except the sum over rows, which is exactly the broadcast adjoint).
+fn broadcast_rows(tape: &mut Tape, v: NodeId, rows: usize) -> NodeId {
+    let dim = tape.value(v).len();
+    let ones = tape.input(Tensor::ones(&[rows, 1]));
+    let v2 = tape.reshape(v, &[1, dim]);
+    tape.matmul(ones, v2)
+}
+
+impl Layer for BatchNorm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_norm_rows_standardized() {
+        let mut ln = LayerNorm::new("ln", 4);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 20.0, 20.0],
+            &[2, 4],
+        ));
+        let y = ln.forward(&mut tape, x);
+        for r in 0..2 {
+            let row = tape.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_training_standardizes_columns() {
+        let mut bn = BatchNorm::new("bn", 2);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![1.0, 100.0, 3.0, 300.0], &[2, 2]));
+        let y = bn.forward(&mut tape, x);
+        let yv = tape.value(y);
+        for c in 0..2 {
+            let mean = (yv.at(0, c) + yv.at(1, c)) / 2.0;
+            assert!(mean.abs() < 1e-4, "col {c} mean {mean}");
+        }
+        // Running stats moved toward the batch stats.
+        assert!(bn.running_mean()[0] > 0.0);
+        assert!(bn.running_mean()[1] > 0.0);
+    }
+
+    #[test]
+    fn batch_norm_inference_uses_running_stats() {
+        let mut bn = BatchNorm::new("bn", 1);
+        // Train on several identical batches to converge the stats.
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let x = tape.input(Tensor::from_vec(vec![4.0, 6.0], &[2, 1]));
+            bn.forward(&mut tape, x);
+        }
+        bn.set_training(false);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![5.0], &[1, 1]));
+        let y = bn.forward(&mut tape, x);
+        // mean→5, var→1: (5−5)/1 = 0.
+        assert!(tape.value(y).data()[0].abs() < 0.05);
+    }
+
+    #[test]
+    fn inference_path_is_differentiable() {
+        let mut bn = BatchNorm::new("bn", 2);
+        bn.set_training(false);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let y = bn.forward(&mut tape, x);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        bn.gamma.pull_grad(&tape);
+        bn.beta.pull_grad(&tape);
+        assert!(bn.beta.grad.data().iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(bn.gamma.grad.data().iter().any(|&g| g != 0.0));
+        assert!(tape.grad(x).is_some());
+    }
+}

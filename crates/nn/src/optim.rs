@@ -1,0 +1,209 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use af_tensor::Tensor;
+
+use crate::param::Param;
+
+/// An optimizer that steps a fixed, ordered set of parameters.
+///
+/// The parameter list must be presented in the same order every step
+/// (optimizer state is positional).
+pub trait Optimizer {
+    /// Apply one update from the accumulated gradients, then zero them.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Change the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Rescale gradients so their global L2 norm is at most `max_norm`
+/// (standard recurrent-network stabilization). Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for p in params.iter() {
+        for &g in p.grad.data() {
+            sq += (g as f64) * (g as f64);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            let scaled = p.grad.scale(scale);
+            p.grad = scaled;
+        }
+    }
+    norm
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and momentum coefficient `momentum`
+    /// (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "param set changed size");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                *v = v.scale(self.momentum);
+                v.axpy(1.0, &p.grad);
+                p.value.axpy(-self.lr, v);
+            } else {
+                let grad = p.grad.clone();
+                p.value.axpy(-self.lr, &grad);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the usual defaults `β1 = 0.9`, `β2 = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "param set changed size");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use af_tensor::Tensor;
+
+    /// Minimize (w − 3)² with each optimizer; both must converge.
+    fn converge(opt: &mut dyn Optimizer) -> f32 {
+        let mut p = Param::new("w", Tensor::from_vec(vec![0.0], &[1]));
+        for _ in 0..500 {
+            let mut tape = Tape::new();
+            let w = p.bind(&mut tape);
+            let target = tape.input(Tensor::from_vec(vec![3.0], &[1]));
+            let d = tape.sub(w, target);
+            let sq = tape.mul(d, d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            p.pull_grad(&tape);
+            opt.step(&mut [&mut p]);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_quadratic() {
+        let w = converge(&mut Sgd::new(0.1, 0.0));
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = converge(&mut Sgd::new(0.05, 0.9));
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges_quadratic() {
+        let w = converge(&mut Adam::new(0.05));
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn step_zeroes_grads() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        p.grad = Tensor::ones(&[2]);
+        let mut opt = Sgd::new(0.5, 0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.data(), &[0.5, 0.5]);
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lr_schedule_hooks() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

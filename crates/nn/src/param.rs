@@ -1,0 +1,133 @@
+//! Trainable parameters: an FP32 master tensor plus an accumulated
+//! gradient and the tape node it was bound to this step.
+
+use af_tensor::Tensor;
+
+use crate::tape::{NodeId, Tape};
+
+/// A named trainable parameter.
+///
+/// The master copy stays in FP32 even under quantization-aware training —
+/// the quantizer is applied as a tape op on the *bound node*, exactly as
+/// the paper retrains with quantized weights in the forward pass while
+/// updating full-precision weights.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable parameter name (used in reports).
+    pub name: String,
+    /// The FP32 master value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    node: Option<(u64, NodeId)>,
+}
+
+impl Param {
+    /// Create a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            node: None,
+        }
+    }
+
+    /// Bind this parameter into a tape for the current step, returning the
+    /// node carrying its value.
+    ///
+    /// Binding is idempotent per tape: a second `bind` on the *same* tape
+    /// (e.g. an LSTM cell invoked at every timestep) returns the existing
+    /// node, so gradients from all uses accumulate correctly.
+    pub fn bind(&mut self, tape: &mut Tape) -> NodeId {
+        if let Some((tape_id, node)) = self.node {
+            if tape_id == tape.id() {
+                return node;
+            }
+        }
+        let id = tape.input(self.value.clone());
+        self.node = Some((tape.id(), id));
+        id
+    }
+
+    /// Pull this step's gradient off the tape (after `tape.backward`),
+    /// accumulating into `self.grad`. No-op if the parameter was never
+    /// bound on *this* tape or received no gradient.
+    pub fn pull_grad(&mut self, tape: &Tape) {
+        if let Some((tape_id, id)) = self.node {
+            if tape_id == tape.id() {
+                self.node = None;
+                if let Some(g) = tape.grad(id) {
+                    self.grad.axpy(1.0, g);
+                }
+            }
+        }
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape());
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_pull_accumulates() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![2.0, 3.0], &[1, 2]));
+        let mut tape = Tape::new();
+        let w = p.bind(&mut tape);
+        let y = tape.scale(w, 2.0);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        p.pull_grad(&tape);
+        assert_eq!(p.grad.data(), &[2.0, 2.0]);
+        // A second step accumulates on top.
+        let mut tape2 = Tape::new();
+        let w2 = p.bind(&mut tape2);
+        let loss2 = tape2.sum_all(w2);
+        tape2.backward(loss2);
+        p.pull_grad(&tape2);
+        assert_eq!(p.grad.data(), &[3.0, 3.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rebinding_on_same_tape_reuses_node() {
+        // The recurrent case: a weight used at every timestep must get
+        // gradient contributions from all of its uses.
+        let mut p = Param::new("w", Tensor::from_vec(vec![2.0], &[1, 1]));
+        let mut tape = Tape::new();
+        let w1 = p.bind(&mut tape);
+        let w2 = p.bind(&mut tape);
+        assert_eq!(w1, w2, "same tape must reuse the bound node");
+        // y = w·w (two uses) → dy/dw = 2w = 4.
+        let y = tape.mul(w1, w2);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        p.pull_grad(&tape);
+        assert_eq!(p.grad.data(), &[4.0]);
+    }
+
+    #[test]
+    fn pull_without_bind_is_noop() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        let tape = Tape::new();
+        p.pull_grad(&tape);
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Magnitude pruning — the Deep-Compression technique the paper notes
+//! "can be used in combination" with AdaptivFloat quantization.
+//!
+//! Pruning zeroes the smallest-magnitude weights; AdaptivFloat's exact
+//! zero encoding represents them for free, so sparsity and the format
+//! compose cleanly (a fixed-point format without exact zero could not).
+
+use crate::param::Param;
+
+/// Statistics from a pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneReport {
+    /// Weights zeroed by this pass.
+    pub pruned: usize,
+    /// Total weights considered.
+    pub total: usize,
+    /// The magnitude threshold used.
+    pub threshold: f32,
+}
+
+impl PruneReport {
+    /// Fraction of weights now zero.
+    pub fn sparsity(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.total as f64
+        }
+    }
+}
+
+/// Zero the smallest-magnitude `fraction` of a parameter's weights
+/// (per-tensor magnitude pruning).
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn prune_param(param: &mut Param, fraction: f64) -> PruneReport {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
+    let total = param.value.len();
+    if total == 0 || fraction == 0.0 {
+        return PruneReport {
+            pruned: 0,
+            total,
+            threshold: 0.0,
+        };
+    }
+    let mut mags: Vec<f32> = param.value.data().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    let k = ((total as f64 * fraction).round() as usize).min(total);
+    let threshold = if k == 0 { 0.0 } else { mags[k - 1] };
+    let mut pruned = 0;
+    for v in param.value.data_mut() {
+        if v.abs() <= threshold && pruned < k {
+            *v = 0.0;
+            pruned += 1;
+        }
+    }
+    PruneReport {
+        pruned,
+        total,
+        threshold,
+    }
+}
+
+/// Prune every rank-≥2 parameter of a model's parameter list to the given
+/// sparsity (biases and norm affines are left dense, as is conventional).
+pub fn prune_weights(params: &mut [&mut Param], fraction: f64) -> PruneReport {
+    let mut pruned = 0;
+    let mut total = 0;
+    let mut threshold = 0.0f32;
+    for p in params.iter_mut() {
+        if p.value.rank() >= 2 {
+            let r = prune_param(p, fraction);
+            pruned += r.pruned;
+            total += r.total;
+            threshold = threshold.max(r.threshold);
+        }
+    }
+    PruneReport {
+        pruned,
+        total,
+        threshold,
+    }
+}
+
+/// Fraction of exactly-zero weights across rank-≥2 parameters.
+pub fn weight_sparsity(params: &[&mut Param]) -> f64 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for p in params.iter() {
+        if p.value.rank() >= 2 {
+            zeros += p.value.data().iter().filter(|&&v| v == 0.0).count();
+            total += p.value.len();
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_tensor::Tensor;
+
+    #[test]
+    fn prunes_exactly_the_smallest() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![0.1, -0.5, 0.05, 2.0], &[2, 2]));
+        let r = prune_param(&mut p, 0.5);
+        assert_eq!(r.pruned, 2);
+        assert_eq!(p.value.data(), &[0.0, -0.5, 0.0, 2.0]);
+        assert_eq!(r.sparsity(), 0.5);
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let mut p = Param::new("w", Tensor::ones(&[2, 2]));
+        let r = prune_param(&mut p, 0.0);
+        assert_eq!(r.pruned, 0);
+        assert_eq!(p.value.data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn full_fraction_zeroes_everything() {
+        let mut p = Param::new("w", Tensor::ones(&[2, 2]));
+        let r = prune_param(&mut p, 1.0);
+        assert_eq!(r.pruned, 4);
+        assert!(p.value.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ties_do_not_over_prune() {
+        // All-equal magnitudes: request 50%, get exactly 50%.
+        let mut p = Param::new("w", Tensor::ones(&[4]));
+        // rank-1 via prune_param directly (prune_weights would skip it).
+        let r = prune_param(&mut p, 0.5);
+        assert_eq!(r.pruned, 2);
+    }
+
+    #[test]
+    fn prune_weights_skips_biases() {
+        let mut w = Param::new("w", Tensor::ones(&[2, 2]));
+        let mut b = Param::new("b", Tensor::ones(&[2]));
+        let mut params = vec![&mut w, &mut b];
+        let r = prune_weights(&mut params, 0.5);
+        assert_eq!(r.total, 4);
+        assert_eq!(b.value.data(), &[1.0, 1.0]);
+        let mut params = vec![&mut w, &mut b];
+        let s = weight_sparsity(&params.as_mut_slice().iter_mut().map(|p| &mut **p).collect::<Vec<_>>());
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        prune_param(&mut p, 1.5);
+    }
+}

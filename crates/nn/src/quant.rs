@@ -1,0 +1,179 @@
+//! Quantization plumbing: format specs, shared quantizer handles, and
+//! activation-range observers.
+//!
+//! Three regimes from the paper:
+//!
+//! * **PTQ** (post-training quantization): weights are replaced in place by
+//!   their quantized rendering — [`QuantSpec::quantize_param`].
+//! * **QAR** (quantization-aware retraining): a [`Quantizer`] is installed
+//!   on each layer; the forward pass fake-quantizes bound weights through
+//!   a straight-through estimator while the FP32 masters keep training.
+//! * **Weight + activation** (Table 3): an [`ActObserver`] first calibrates
+//!   each activation site's |max| from offline batches, then clamps and
+//!   quantizes activations with the calibrated range.
+
+use adaptivfloat::{FormatError, FormatKind, NumberFormat};
+use std::sync::Arc;
+
+use crate::param::Param;
+
+/// A shareable handle to a number format used for fake quantization.
+pub type Quantizer = Arc<dyn NumberFormat>;
+
+/// A (format kind, bit width) pair — one cell of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantSpec {
+    /// The format family.
+    pub kind: FormatKind,
+    /// Word size in bits.
+    pub bits: u32,
+}
+
+impl QuantSpec {
+    /// Create a spec.
+    pub fn new(kind: FormatKind, bits: u32) -> Self {
+        QuantSpec { kind, bits }
+    }
+
+    /// Build the concrete format with the paper's per-kind field split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the kind cannot be built at
+    /// this width.
+    pub fn build(self) -> Result<Quantizer, FormatError> {
+        Ok(Arc::from(self.kind.build(self.bits)?))
+    }
+
+    /// Post-training-quantize a parameter in place (per-tensor adaptive
+    /// parameters, exactly Algorithm 1 applied to a trained layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the format cannot be built.
+    pub fn quantize_param(self, param: &mut Param) -> Result<(), FormatError> {
+        let fmt = self.build()?;
+        let q = fmt.quantize_slice(param.value.data());
+        param.value.data_mut().copy_from_slice(&q);
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for QuantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}b", self.kind, self.bits)
+    }
+}
+
+/// Running |max| observer for one activation site.
+///
+/// During calibration it tracks the maximum absolute activation seen; at
+/// inference the frozen range parameterizes the activation quantizer
+/// (the paper: "the exp_bias for the dynamic activations are informed
+/// from statistics during offline batch inference").
+#[derive(Debug, Clone)]
+pub struct ActObserver {
+    max_abs: f32,
+    calibrating: bool,
+}
+
+impl Default for ActObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActObserver {
+    /// New observer in calibration mode with an empty range.
+    pub fn new() -> Self {
+        ActObserver {
+            max_abs: 0.0,
+            calibrating: true,
+        }
+    }
+
+    /// Record a batch of activations (no-op when frozen).
+    pub fn observe(&mut self, data: &[f32]) {
+        if !self.calibrating {
+            return;
+        }
+        for &v in data {
+            if v.is_finite() {
+                self.max_abs = self.max_abs.max(v.abs());
+            }
+        }
+    }
+
+    /// Stop calibrating; the recorded range is frozen.
+    pub fn freeze(&mut self) {
+        self.calibrating = false;
+    }
+
+    /// Re-enter calibration (keeps the current maximum).
+    pub fn unfreeze(&mut self) {
+        self.calibrating = true;
+    }
+
+    /// Whether the observer is still recording.
+    pub fn is_calibrating(&self) -> bool {
+        self.calibrating
+    }
+
+    /// The calibrated |max| (0.0 if nothing was observed).
+    pub fn max_abs(&self) -> f32 {
+        self.max_abs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_tensor::Tensor;
+
+    #[test]
+    fn spec_builds_all_paper_cells() {
+        for kind in FormatKind::ALL {
+            for bits in [4, 5, 6, 7, 8, 16] {
+                let spec = QuantSpec::new(kind, bits);
+                let fmt = spec.build().unwrap();
+                assert_eq!(fmt.bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_param_in_place() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![1.17, -2.71, 0.07], &[3]));
+        QuantSpec::new(FormatKind::AdaptivFloat, 4)
+            .quantize_param(&mut p)
+            .unwrap();
+        // The paper split at 4 bits is AdaptivFloat<4,3> (m = 0): a
+        // power-of-two grid from 2^-5 to 2 for max |w| = 2.71. So
+        // 1.17 → 1, −2.71 clamps to −2 (value_max), 0.07 → 0.0625.
+        assert_eq!(p.value.data(), &[1.0, -2.0, 0.0625]);
+    }
+
+    #[test]
+    fn observer_tracks_then_freezes() {
+        let mut obs = ActObserver::new();
+        obs.observe(&[0.5, -2.0]);
+        assert_eq!(obs.max_abs(), 2.0);
+        obs.freeze();
+        obs.observe(&[100.0]);
+        assert_eq!(obs.max_abs(), 2.0);
+        assert!(!obs.is_calibrating());
+    }
+
+    #[test]
+    fn observer_ignores_non_finite() {
+        let mut obs = ActObserver::new();
+        obs.observe(&[1.0, f32::INFINITY, f32::NAN]);
+        assert_eq!(obs.max_abs(), 1.0);
+    }
+
+    #[test]
+    fn spec_display() {
+        let s = QuantSpec::new(FormatKind::AdaptivFloat, 8);
+        assert_eq!(s.to_string(), "AdaptivFloat@8b");
+    }
+}

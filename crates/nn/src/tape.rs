@@ -1,0 +1,1075 @@
+//! The reverse-mode autograd tape.
+//!
+//! Values are computed eagerly as ops are recorded; [`Tape::backward`]
+//! walks the (topologically ordered) tape in reverse, accumulating
+//! gradients. A fresh tape is built per training step.
+
+use adaptivfloat::NumberFormat;
+use af_tensor::{col2im, im2col, Conv2dSpec, Tensor};
+use std::sync::Arc;
+
+/// Handle to a node on a [`Tape`].
+pub type NodeId = usize;
+
+/// Saved backward context per op.
+#[derive(Debug)]
+enum Op {
+    Input,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    AddRow(NodeId, NodeId),
+    Scale(NodeId, f32),
+    Matmul(NodeId, NodeId),
+    MatmulT(NodeId, NodeId),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Softmax(NodeId),
+    CrossEntropy {
+        logits: NodeId,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    BatchNormCols {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        xhat: Tensor,
+        inv_std: Vec<f32>,
+    },
+    Embedding {
+        table: NodeId,
+        indices: Vec<usize>,
+    },
+    SliceCols {
+        a: NodeId,
+        start: usize,
+    },
+    ConcatCols {
+        parts: Vec<NodeId>,
+    },
+    ConcatRows {
+        parts: Vec<NodeId>,
+    },
+    Reshape(NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    Conv2d {
+        input: NodeId,
+        weight: NodeId,
+        spec: Conv2dSpec,
+        batch: usize,
+        h: usize,
+        w: usize,
+        patches: Tensor,
+    },
+    ChannelsLastToNchw {
+        a: NodeId,
+        batch: usize,
+        h: usize,
+        w: usize,
+        c: usize,
+    },
+    AvgPoolRows {
+        a: NodeId,
+        group_size: usize,
+    },
+    FakeQuant(NodeId),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape over [`Tensor`] values.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct Tape {
+    id: u64,
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape::new()
+    }
+}
+
+impl Tape {
+    /// Create an empty tape with a unique identity (parameters use the
+    /// identity to bind at most once per tape — a layer invoked at every
+    /// timestep of an unrolled RNN must accumulate gradients from all of
+    /// its uses through a single input node).
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        Tape {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            nodes: Vec::new(),
+            grads: Vec::new(),
+        }
+    }
+
+    /// This tape's unique identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of nodes recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        self.nodes.len() - 1
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    /// The gradient of a node (after [`backward`](Self::backward)).
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+
+    /// Record a leaf holding `value`.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Elementwise `a + b` (equal shapes).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a − b` (equal shapes).
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a ⊙ b` (equal shapes).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Add row vector `bias` (rank 1) to every row of `a` (rank 2).
+    pub fn add_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let v = self.value(a).add_row(self.value(bias));
+        self.push(v, Op::AddRow(a, bias))
+    }
+
+    /// Multiply by a constant scalar.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Matrix product `a · bᵀ` (attention scores, linear layers with
+    /// `[out, in]` weights).
+    pub fn matmul_t(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul_t(self.value(b));
+        self.push(v, Op::MatmulT(a, b))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid (overflow-safe).
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (max-subtracted for stability).
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let v = softmax_rows(self.value(a));
+        self.push(v, Op::Softmax(a))
+    }
+
+    /// Mean cross-entropy between row logits and integer targets; returns
+    /// a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of rows, or any
+    /// target is out of range.
+    pub fn cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
+        let l = self.value(logits);
+        assert_eq!(l.rows(), targets.len(), "one target per row");
+        let probs = softmax_rows(l);
+        let cols = probs.cols();
+        let mut loss = 0.0f64;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < cols, "target {t} out of range {cols}");
+            loss -= (probs.at(r, t).max(1e-12) as f64).ln();
+        }
+        let loss = (loss / targets.len() as f64) as f32;
+        self.push(
+            Tensor::from_vec(vec![loss], &[1]),
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
+        )
+    }
+
+    /// Row-wise layer normalization with affine parameters `gamma`,
+    /// `beta` (rank 1, length = columns).
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let xv = self.value(x);
+        let cols = xv.cols();
+        let rows = xv.rows();
+        let g = self.value(gamma).data().to_vec();
+        let b = self.value(beta).data().to_vec();
+        assert_eq!(g.len(), cols, "gamma length must equal columns");
+        assert_eq!(b.len(), cols, "beta length must equal columns");
+        let mut xhat = Tensor::zeros(xv.shape());
+        let mut out = Tensor::zeros(xv.shape());
+        let mut inv_std = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &xv.data()[r * cols..(r + 1) * cols];
+            let mean: f32 = row.iter().sum::<f32>() / cols as f32;
+            let var: f32 =
+                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..cols {
+                let xh = (row[c] - mean) * istd;
+                xhat.data_mut()[r * cols + c] = xh;
+                out.data_mut()[r * cols + c] = xh * g[c] + b[c];
+            }
+        }
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+        )
+    }
+
+    /// Column-wise (per-feature) batch normalization over the rows of a
+    /// rank-2 tensor, with affine `gamma`/`beta`. Returns
+    /// `(output, batch_mean, batch_var)` — the layer uses the statistics
+    /// to update its running averages.
+    pub fn batch_norm(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> (NodeId, Vec<f32>, Vec<f32>) {
+        let xv = self.value(x);
+        let (rows, cols) = (xv.rows(), xv.cols());
+        assert!(rows > 0, "batch_norm needs at least one row");
+        let g = self.value(gamma).data().to_vec();
+        let b = self.value(beta).data().to_vec();
+        let mut mean = vec![0.0f32; cols];
+        let mut var = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                mean[c] += xv.at(r, c);
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= rows as f32);
+        for r in 0..rows {
+            for c in 0..cols {
+                let d = xv.at(r, c) - mean[c];
+                var[c] += d * d;
+            }
+        }
+        var.iter_mut().for_each(|v| *v /= rows as f32);
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let mut xhat = Tensor::zeros(xv.shape());
+        let mut out = Tensor::zeros(xv.shape());
+        for r in 0..rows {
+            for c in 0..cols {
+                let xh = (xv.at(r, c) - mean[c]) * inv_std[c];
+                xhat.data_mut()[r * cols + c] = xh;
+                out.data_mut()[r * cols + c] = xh * g[c] + b[c];
+            }
+        }
+        let id = self.push(
+            out,
+            Op::BatchNormCols {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+        );
+        (id, mean, var)
+    }
+
+    /// Gather rows of an embedding `table` (rank 2) by `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn embedding(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
+        let t = self.value(table);
+        let (vocab, dim) = (t.rows(), t.cols());
+        let mut out = Vec::with_capacity(indices.len() * dim);
+        for &i in indices {
+            assert!(i < vocab, "embedding index {i} out of range {vocab}");
+            out.extend_from_slice(t.row(i));
+        }
+        self.push(
+            Tensor::from_vec(out, &[indices.len(), dim]),
+            Op::Embedding {
+                table,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Columns `[start, start+width)` of a rank-2 node.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, width: usize) -> NodeId {
+        let v = self.value(a).slice_cols(start, width);
+        self.push(v, Op::SliceCols { a, start })
+    }
+
+    /// Concatenate rank-2 nodes left-to-right.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(
+            v,
+            Op::ConcatCols {
+                parts: parts.to_vec(),
+            },
+        )
+    }
+
+    /// Stack rank-2 nodes top-to-bottom (equal column counts) — e.g.
+    /// gathering per-timestep LSTM outputs into an attention memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows needs at least one node");
+        let cols = self.value(parts[0]).cols();
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for &p in parts {
+            let v = self.value(p);
+            assert_eq!(v.cols(), cols, "column mismatch in concat_rows");
+            data.extend_from_slice(v.data());
+            rows += v.rows();
+        }
+        self.push(
+            Tensor::from_vec(data, &[rows, cols]),
+            Op::ConcatRows {
+                parts: parts.to_vec(),
+            },
+        )
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&mut self, a: NodeId, shape: &[usize]) -> NodeId {
+        let v = self.value(a).reshape(shape);
+        self.push(v, Op::Reshape(a))
+    }
+
+    /// Sum of all elements → scalar node.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let s = self.value(a).sum();
+        self.push(Tensor::from_vec(vec![s], &[1]), Op::SumAll(a))
+    }
+
+    /// Mean of all elements → scalar node.
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let s = self.value(a).mean();
+        self.push(Tensor::from_vec(vec![s], &[1]), Op::MeanAll(a))
+    }
+
+    /// 2-D convolution: `input` is `[batch, c·h·w]` NCHW, `weight` is
+    /// `[out_channels, c·k·k]`; output is channels-last
+    /// `[batch·oh·ow, out_channels]` (ready for per-channel batch norm).
+    pub fn conv2d(
+        &mut self,
+        input: NodeId,
+        weight: NodeId,
+        spec: Conv2dSpec,
+        batch: usize,
+        h: usize,
+        w: usize,
+    ) -> NodeId {
+        let patches = im2col(self.value(input), batch, spec.in_channels, h, w, &spec);
+        let out = patches.matmul_t(self.value(weight));
+        self.push(
+            out,
+            Op::Conv2d {
+                input,
+                weight,
+                spec,
+                batch,
+                h,
+                w,
+                patches,
+            },
+        )
+    }
+
+    /// Convert a channels-last `[batch·h·w, c]` node to NCHW
+    /// `[batch, c·h·w]` (the layout the next `conv2d` expects).
+    pub fn channels_last_to_nchw(
+        &mut self,
+        a: NodeId,
+        batch: usize,
+        h: usize,
+        w: usize,
+        c: usize,
+    ) -> NodeId {
+        let v = permute_cl_to_nchw(self.value(a), batch, h, w, c);
+        self.push(v, Op::ChannelsLastToNchw { a, batch, h, w, c })
+    }
+
+    /// Average consecutive groups of `group_size` rows (global average
+    /// pooling over spatial positions when rows are `[batch·h·w]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count is not a multiple of `group_size`.
+    pub fn avg_pool_rows(&mut self, a: NodeId, group_size: usize) -> NodeId {
+        let v = self.value(a);
+        let (rows, cols) = (v.rows(), v.cols());
+        assert_eq!(rows % group_size, 0, "rows must divide into groups");
+        let groups = rows / group_size;
+        let mut out = Tensor::zeros(&[groups, cols]);
+        for g in 0..groups {
+            for r in 0..group_size {
+                for c in 0..cols {
+                    out.data_mut()[g * cols + c] += v.at(g * group_size + r, c);
+                }
+            }
+        }
+        let inv = 1.0 / group_size as f32;
+        let out = out.scale(inv);
+        self.push(out, Op::AvgPoolRows { a, group_size })
+    }
+
+    /// Fake-quantize through `format` (adaptive parameters derived from
+    /// the node's current tensor); the backward pass is the
+    /// straight-through estimator (identity).
+    pub fn fake_quant(&mut self, a: NodeId, format: &Arc<dyn NumberFormat>) -> NodeId {
+        let v = self.value(a);
+        let q = Tensor::from_vec(format.quantize_slice(v.data()), v.shape());
+        self.push(q, Op::FakeQuant(a))
+    }
+
+    /// Fake-quantize with a *calibrated* maximum (activation quantization
+    /// from offline statistics); backward is STE.
+    pub fn fake_quant_with_max(
+        &mut self,
+        a: NodeId,
+        format: &Arc<dyn NumberFormat>,
+        max_abs: f32,
+    ) -> NodeId {
+        let v = self.value(a);
+        let q = Tensor::from_vec(format.quantize_slice_with_max(max_abs, v.data()), v.shape());
+        self.push(q, Op::FakeQuant(a))
+    }
+
+    /// Run reverse-mode accumulation from `root` (which must be scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a single-element node.
+    pub fn backward(&mut self, root: NodeId) {
+        assert_eq!(
+            self.nodes[root].value.len(),
+            1,
+            "backward root must be scalar"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[root] = Some(Tensor::ones(&[1]));
+        for id in (0..=root).rev() {
+            let Some(gy) = self.grads[id].take() else {
+                continue;
+            };
+            self.propagate(id, &gy);
+            self.grads[id] = Some(gy);
+        }
+    }
+
+    fn accumulate(&mut self, id: NodeId, delta: Tensor) {
+        match &mut self.grads[id] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, id: NodeId, gy: &Tensor) {
+        // Temporarily take the op so arms can call `accumulate` (which
+        // needs `&mut self`) while borrowing the op's saved tensors.
+        let op = std::mem::replace(&mut self.nodes[id].op, Op::Input);
+        match &op {
+            Op::Input => {}
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, gy.clone());
+                self.accumulate(b, gy.clone());
+            }
+            Op::Sub(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, gy.clone());
+                self.accumulate(b, gy.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = gy.mul(self.value(b));
+                let db = gy.mul(self.value(a));
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::AddRow(a, bias) => {
+                let (a, bias) = (*a, *bias);
+                self.accumulate(a, gy.clone());
+                self.accumulate(bias, gy.sum_rows());
+            }
+            Op::Scale(a, s) => {
+                let (a, s) = (*a, *s);
+                self.accumulate(a, gy.scale(s));
+            }
+            Op::Matmul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = gy.matmul_t(self.value(b));
+                let db = self.value(a).t_matmul(gy);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::MatmulT(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = gy.matmul(self.value(b));
+                let db = gy.t_matmul(self.value(a));
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Relu(a) => {
+                let a = *a;
+                let da = gy.zip_map(self.value(a), |g, x| if x > 0.0 { g } else { 0.0 });
+                self.accumulate(a, da);
+            }
+            Op::Sigmoid(a) => {
+                let a = *a;
+                let y = self.nodes[id].value.clone();
+                let da = gy.zip_map(&y, |g, y| g * y * (1.0 - y));
+                self.accumulate(a, da);
+            }
+            Op::Tanh(a) => {
+                let a = *a;
+                let y = self.nodes[id].value.clone();
+                let da = gy.zip_map(&y, |g, y| g * (1.0 - y * y));
+                self.accumulate(a, da);
+            }
+            Op::Softmax(a) => {
+                let a = *a;
+                let y = &self.nodes[id].value;
+                let cols = y.cols();
+                let mut da = Tensor::zeros(y.shape());
+                for r in 0..y.rows() {
+                    let yr = &y.data()[r * cols..(r + 1) * cols];
+                    let gr = &gy.data()[r * cols..(r + 1) * cols];
+                    let dot: f32 = yr.iter().zip(gr).map(|(&y, &g)| y * g).sum();
+                    for c in 0..cols {
+                        da.data_mut()[r * cols + c] = yr[c] * (gr[c] - dot);
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::CrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
+                let logits = *logits;
+                let g0 = gy.data()[0];
+                let batch = targets.len() as f32;
+                let mut da = probs.clone();
+                let cols = da.cols();
+                for (r, &t) in targets.iter().enumerate() {
+                    da.data_mut()[r * cols + t] -= 1.0;
+                }
+                let da = da.scale(g0 / batch);
+                self.accumulate(logits, da);
+            }
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            } => {
+                let (x, gamma, beta) = (*x, *gamma, *beta);
+                let xhat = xhat.clone();
+                let inv_std = inv_std.clone();
+                let g = self.value(gamma).data().to_vec();
+                let cols = xhat.cols();
+                let rows = xhat.rows();
+                let mut dx = Tensor::zeros(xhat.shape());
+                let mut dgamma = vec![0.0f32; cols];
+                let mut dbeta = vec![0.0f32; cols];
+                for r in 0..rows {
+                    let xr = &xhat.data()[r * cols..(r + 1) * cols];
+                    let gr = &gy.data()[r * cols..(r + 1) * cols];
+                    let mut sum_dg = 0.0f32;
+                    let mut sum_dg_x = 0.0f32;
+                    for c in 0..cols {
+                        let dyg = gr[c] * g[c];
+                        sum_dg += dyg;
+                        sum_dg_x += dyg * xr[c];
+                        dgamma[c] += gr[c] * xr[c];
+                        dbeta[c] += gr[c];
+                    }
+                    let inv_n = 1.0 / cols as f32;
+                    for c in 0..cols {
+                        let dyg = gr[c] * g[c];
+                        dx.data_mut()[r * cols + c] =
+                            inv_std[r] * (dyg - inv_n * sum_dg - xr[c] * inv_n * sum_dg_x);
+                    }
+                }
+                self.accumulate(x, dx);
+                self.accumulate(gamma, Tensor::from_vec(dgamma, &[cols]));
+                self.accumulate(beta, Tensor::from_vec(dbeta, &[cols]));
+            }
+            Op::BatchNormCols {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            } => {
+                let (x, gamma, beta) = (*x, *gamma, *beta);
+                let xhat = xhat.clone();
+                let inv_std = inv_std.clone();
+                let g = self.value(gamma).data().to_vec();
+                let (rows, cols) = (xhat.rows(), xhat.cols());
+                let mut dx = Tensor::zeros(xhat.shape());
+                let mut dgamma = vec![0.0f32; cols];
+                let mut dbeta = vec![0.0f32; cols];
+                let mut sum_dg = vec![0.0f32; cols];
+                let mut sum_dg_x = vec![0.0f32; cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let gyv = gy.at(r, c);
+                        let xh = xhat.at(r, c);
+                        let dyg = gyv * g[c];
+                        sum_dg[c] += dyg;
+                        sum_dg_x[c] += dyg * xh;
+                        dgamma[c] += gyv * xh;
+                        dbeta[c] += gyv;
+                    }
+                }
+                let inv_n = 1.0 / rows as f32;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let dyg = gy.at(r, c) * g[c];
+                        dx.data_mut()[r * cols + c] = inv_std[c]
+                            * (dyg - inv_n * sum_dg[c] - xhat.at(r, c) * inv_n * sum_dg_x[c]);
+                    }
+                }
+                self.accumulate(x, dx);
+                self.accumulate(gamma, Tensor::from_vec(dgamma, &[cols]));
+                self.accumulate(beta, Tensor::from_vec(dbeta, &[cols]));
+            }
+            Op::Embedding { table, indices } => {
+                let table = *table;
+                let indices = indices.clone();
+                let t = self.value(table);
+                let (vocab, dim) = (t.rows(), t.cols());
+                let mut dt = Tensor::zeros(&[vocab, dim]);
+                for (r, &i) in indices.iter().enumerate() {
+                    for c in 0..dim {
+                        dt.data_mut()[i * dim + c] += gy.at(r, c);
+                    }
+                }
+                self.accumulate(table, dt);
+            }
+            Op::SliceCols { a, start } => {
+                let (a, start) = (*a, *start);
+                let full = self.value(a);
+                let (rows, cols) = (full.rows(), full.cols());
+                let width = gy.cols();
+                let mut da = Tensor::zeros(&[rows, cols]);
+                for r in 0..rows {
+                    for c in 0..width {
+                        da.data_mut()[r * cols + start + c] = gy.at(r, c);
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::ConcatCols { parts } => {
+                let parts = parts.clone();
+                let mut start = 0;
+                for p in parts {
+                    let width = self.value(p).cols();
+                    let dp = gy.slice_cols(start, width);
+                    start += width;
+                    self.accumulate(p, dp);
+                }
+            }
+            Op::ConcatRows { parts } => {
+                let parts = parts.clone();
+                let cols = gy.cols();
+                let mut start = 0;
+                for p in parts {
+                    let rows = self.value(p).rows();
+                    let dp = Tensor::from_vec(
+                        gy.data()[start * cols..(start + rows) * cols].to_vec(),
+                        &[rows, cols],
+                    );
+                    start += rows;
+                    self.accumulate(p, dp);
+                }
+            }
+            Op::Reshape(a) => {
+                let a = *a;
+                let shape = self.value(a).shape().to_vec();
+                self.accumulate(a, gy.reshape(&shape));
+            }
+            Op::SumAll(a) => {
+                let a = *a;
+                let g0 = gy.data()[0];
+                let da = Tensor::full(self.value(a).shape(), g0);
+                self.accumulate(a, da);
+            }
+            Op::MeanAll(a) => {
+                let a = *a;
+                let n = self.value(a).len() as f32;
+                let g0 = gy.data()[0] / n;
+                let da = Tensor::full(self.value(a).shape(), g0);
+                self.accumulate(a, da);
+            }
+            Op::Conv2d {
+                input,
+                weight,
+                spec,
+                batch,
+                h,
+                w,
+                patches,
+            } => {
+                let (input, weight) = (*input, *weight);
+                let (spec, batch, h, w) = (*spec, *batch, *h, *w);
+                let patches = patches.clone();
+                // dW = gyᵀ · patches ; dPatches = gy · W ; dInput = col2im.
+                let dw = gy.t_matmul(&patches);
+                let dpatches = gy.matmul(self.value(weight));
+                let dinput = col2im(&dpatches, batch, spec.in_channels, h, w, &spec);
+                self.accumulate(weight, dw);
+                self.accumulate(input, dinput);
+            }
+            Op::ChannelsLastToNchw { a, batch, h, w, c } => {
+                let (a, batch, h, w, c) = (*a, *batch, *h, *w, *c);
+                let da = permute_nchw_to_cl(gy, batch, h, w, c);
+                self.accumulate(a, da);
+            }
+            Op::AvgPoolRows { a, group_size } => {
+                let (a, group_size) = (*a, *group_size);
+                let cols = gy.cols();
+                let groups = gy.rows();
+                let inv = 1.0 / group_size as f32;
+                let mut da = Tensor::zeros(&[groups * group_size, cols]);
+                for g in 0..groups {
+                    for r in 0..group_size {
+                        for c in 0..cols {
+                            da.data_mut()[(g * group_size + r) * cols + c] = gy.at(g, c) * inv;
+                        }
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::FakeQuant(a) => {
+                // Straight-through estimator: gradient passes unchanged.
+                let a = *a;
+                self.accumulate(a, gy.clone());
+            }
+        }
+        self.nodes[id].op = op;
+    }
+}
+
+/// A one-slot cache keyed by tape identity: layers that forward several
+/// times on one tape (an LSTM cell unrolled over timesteps) use it to
+/// build expensive derived nodes — like the fake-quantized view of a
+/// weight — only once per tape.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NodeCache(Option<(u64, NodeId)>);
+
+impl NodeCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        NodeCache(None)
+    }
+
+    /// Return the cached node for this tape, or build it with `f` and
+    /// cache it.
+    pub fn get_or_insert_with(
+        &mut self,
+        tape: &mut Tape,
+        f: impl FnOnce(&mut Tape) -> NodeId,
+    ) -> NodeId {
+        if let Some((tape_id, node)) = self.0 {
+            if tape_id == tape.id() {
+                return node;
+            }
+        }
+        let node = f(tape);
+        self.0 = Some((tape.id(), node));
+        node
+    }
+}
+
+/// Overflow-safe logistic sigmoid.
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Row-wise, max-subtracted softmax.
+fn softmax_rows(x: &Tensor) -> Tensor {
+    let cols = x.cols();
+    let mut out = Tensor::zeros(x.shape());
+    for r in 0..x.rows() {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for c in 0..cols {
+            let e = (row[c] - max).exp();
+            out.data_mut()[r * cols + c] = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for c in 0..cols {
+            out.data_mut()[r * cols + c] *= inv;
+        }
+    }
+    out
+}
+
+/// `[batch·h·w, c]` (channels-last rows) → `[batch, c·h·w]` (NCHW).
+fn permute_cl_to_nchw(x: &Tensor, batch: usize, h: usize, w: usize, c: usize) -> Tensor {
+    assert_eq!(x.len(), batch * h * w * c, "permute size mismatch");
+    let mut out = vec![0.0f32; x.len()];
+    let data = x.data();
+    for b in 0..batch {
+        for y in 0..h {
+            for xx in 0..w {
+                for ch in 0..c {
+                    let src = ((b * h + y) * w + xx) * c + ch;
+                    let dst = ((b * c + ch) * h + y) * w + xx;
+                    out[dst] = data[src];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, c * h * w])
+}
+
+/// `[batch, c·h·w]` (NCHW) → `[batch·h·w, c]` (channels-last rows).
+fn permute_nchw_to_cl(x: &Tensor, batch: usize, h: usize, w: usize, c: usize) -> Tensor {
+    assert_eq!(x.len(), batch * h * w * c, "permute size mismatch");
+    let mut out = vec![0.0f32; x.len()];
+    let data = x.data();
+    for b in 0..batch {
+        for y in 0..h {
+            for xx in 0..w {
+                for ch in 0..c {
+                    let dst = ((b * h + y) * w + xx) * c + ch;
+                    let src = ((b * c + ch) * h + y) * w + xx;
+                    out[dst] = data[src];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch * h * w, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_mul_chain() {
+        let mut t = Tape::new();
+        let a = t.input(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let b = t.input(Tensor::from_vec(vec![4.0, 5.0], &[2]));
+        let c = t.mul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        assert_eq!(t.grad(a).unwrap().data(), &[4.0, 5.0]);
+        assert_eq!(t.grad(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let mut t = Tape::new();
+        let a = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = t.input(Tensor::eye(2));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        // dA = 1·Iᵀ = ones; dB = Aᵀ·1.
+        assert_eq!(t.grad(a).unwrap().data(), &[1.0; 4]);
+        assert_eq!(t.grad(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let y = t.softmax(x);
+        for r in 0..2 {
+            let s: f32 = t.value(y).row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let mut t = Tape::new();
+        let logits = t.input(Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3]));
+        let loss = t.cross_entropy(logits, &[0, 1]);
+        let p0 = 2.0f32.exp() / (2.0f32.exp() + 2.0);
+        let p1 = 3.0f32.exp() / (3.0f32.exp() + 2.0);
+        let expected = -(p0.ln() + p1.ln()) / 2.0;
+        assert!((t.value(loss).data()[0] - expected).abs() < 1e-5);
+        t.backward(loss);
+        // Gradient rows sum to zero (softmax − one-hot).
+        let g = t.grad(logits).unwrap();
+        for r in 0..2 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fake_quant_is_ste() {
+        use adaptivfloat::AdaptivFloat;
+        let fmt: Arc<dyn NumberFormat> = Arc::new(AdaptivFloat::new(4, 2).unwrap());
+        let mut t = Tape::new();
+        let x = t.input(Tensor::from_vec(vec![1.17, -2.71], &[2]));
+        let q = t.fake_quant(x, &fmt);
+        // Forward is quantized...
+        assert_ne!(t.value(q).data(), t.value(x).data());
+        let loss = t.sum_all(q);
+        t.backward(loss);
+        // ...backward is identity.
+        assert_eq!(t.grad(x).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalized() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]));
+        let g = t.input(Tensor::ones(&[4]));
+        let b = t.input(Tensor::zeros(&[4]));
+        let y = t.layer_norm(x, g, b, 1e-5);
+        let yv = t.value(y);
+        let mean: f32 = yv.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = yv.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let mut t = Tape::new();
+        let table = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let e = t.embedding(table, &[2, 0, 2]);
+        assert_eq!(t.value(e).data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let loss = t.sum_all(e);
+        t.backward(loss);
+        // Row 2 used twice, row 0 once, row 1 never.
+        assert_eq!(t.grad(table).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip_grads() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 4]));
+        let a = t.slice_cols(x, 0, 2);
+        let b = t.slice_cols(x, 2, 2);
+        let y = t.concat_cols(&[a, b]);
+        assert_eq!(t.value(y).data(), t.value(x).data());
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().data(), &[1.0; 8]);
+    }
+
+    #[test]
+    fn avg_pool_rows_forward_backward() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[4, 1]));
+        let y = t.avg_pool_rows(x, 2);
+        assert_eq!(t.value(y).data(), &[2.0, 6.0]);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().data(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn permutes_are_inverses() {
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 12]);
+        let cl = permute_nchw_to_cl(&x, 2, 2, 3, 2);
+        let back = permute_cl_to_nchw(&cl, 2, 2, 3, 2);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_from_non_scalar_panics() {
+        let mut t = Tape::new();
+        let x = t.input(Tensor::zeros(&[2]));
+        t.backward(x);
+    }
+}

@@ -1,0 +1,326 @@
+//! Finite-difference validation of every backward rule in the tape.
+
+use af_nn::grad_check::check_gradient;
+use af_nn::Tape;
+use af_tensor::{Conv2dSpec, Tensor};
+
+const TOL: f64 = 2e-2; // central differences at eps=1e-3 in f32
+
+fn x(vals: &[f32], shape: &[usize]) -> Tensor {
+    Tensor::from_vec(vals.to_vec(), shape)
+}
+
+fn seq(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+    (0..n).map(f).collect()
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let a = x(&seq(6, |i| (i as f32 * 0.37).sin()), &[2, 3]);
+    for err in [
+        check_gradient(&a, |t, x| {
+            let c = t.input(Tensor::full(&[2, 3], 0.5));
+            let y = t.add(x, c);
+            let y = t.mul(y, y);
+            t.sum_all(y)
+        }),
+        check_gradient(&a, |t, x| {
+            let c = t.input(Tensor::full(&[2, 3], 0.5));
+            let y = t.sub(x, c);
+            let y = t.mul(y, x);
+            t.sum_all(y)
+        }),
+    ] {
+        assert!(err < TOL, "err {err}");
+    }
+}
+
+#[test]
+fn grad_matmul_both_sides() {
+    let a = x(&seq(6, |i| (i as f32 * 0.53).cos()), &[2, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let b = t.input(Tensor::from_vec(seq(12, |i| (i as f32 * 0.29).sin()), &[3, 4]));
+        let y = t.matmul(x, b);
+        let y = t.mul(y, y);
+        t.mean_all(y)
+    });
+    assert!(err < TOL, "lhs err {err}");
+    let b0 = x(&seq(12, |i| (i as f32 * 0.29).sin()), &[3, 4]);
+    let err = check_gradient(&b0, |t, x| {
+        let a = t.input(Tensor::from_vec(seq(6, |i| (i as f32 * 0.53).cos()), &[2, 3]));
+        let y = t.matmul(a, x);
+        let y = t.mul(y, y);
+        t.mean_all(y)
+    });
+    assert!(err < TOL, "rhs err {err}");
+}
+
+#[test]
+fn grad_matmul_t() {
+    let a = x(&seq(6, |i| (i as f32 * 0.41).sin()), &[2, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let b = t.input(Tensor::from_vec(seq(12, |i| (i as f32 * 0.31).cos()), &[4, 3]));
+        let y = t.matmul_t(x, b);
+        let y = t.mul(y, y);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_activations() {
+    let a = x(&seq(8, |i| (i as f32 - 3.5) * 0.6), &[2, 4]);
+    for (name, err) in [
+        (
+            "relu",
+            check_gradient(&a, |t, x| {
+                let y = t.relu(x);
+                let y = t.mul(y, y);
+                t.sum_all(y)
+            }),
+        ),
+        (
+            "sigmoid",
+            check_gradient(&a, |t, x| {
+                let y = t.sigmoid(x);
+                t.sum_all(y)
+            }),
+        ),
+        (
+            "tanh",
+            check_gradient(&a, |t, x| {
+                let y = t.tanh(x);
+                t.sum_all(y)
+            }),
+        ),
+    ] {
+        assert!(err < TOL, "{name} err {err}");
+    }
+}
+
+#[test]
+fn grad_softmax() {
+    let a = x(&seq(6, |i| (i as f32 * 0.9).sin() * 2.0), &[2, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let y = t.softmax(x);
+        // A non-symmetric functional of the softmax rows.
+        let w = t.input(Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5, 1.5, -1.0], &[2, 3]));
+        let y = t.mul(y, w);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_cross_entropy() {
+    let a = x(&seq(6, |i| (i as f32 * 1.3).cos()), &[2, 3]);
+    let err = check_gradient(&a, |t, x| t.cross_entropy(x, &[2, 0]));
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_layer_norm_input_gamma_beta() {
+    let a = x(&seq(8, |i| (i as f32 * 0.77).sin() + 0.2), &[2, 4]);
+    let err = check_gradient(&a, |t, x| {
+        let g = t.input(Tensor::from_vec(vec![1.0, 0.5, 2.0, -1.0], &[4]));
+        let b = t.input(Tensor::from_vec(vec![0.1, -0.2, 0.0, 0.3], &[4]));
+        let y = t.layer_norm(x, g, b, 1e-5);
+        let w = t.input(Tensor::from_vec(seq(8, |i| (i as f32 * 0.17).cos()), &[2, 4]));
+        let y = t.mul(y, w);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "input err {err}");
+    // Gamma gradient.
+    let g0 = x(&[1.0, 0.5, 2.0, -1.0], &[4]);
+    let err = check_gradient(&g0, |t, g| {
+        let xv = t.input(Tensor::from_vec(seq(8, |i| (i as f32 * 0.77).sin() + 0.2), &[2, 4]));
+        let b = t.input(Tensor::zeros(&[4]));
+        let y = t.layer_norm(xv, g, b, 1e-5);
+        let w = t.input(Tensor::from_vec(seq(8, |i| (i as f32 * 0.17).cos()), &[2, 4]));
+        let y = t.mul(y, w);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "gamma err {err}");
+}
+
+#[test]
+fn grad_batch_norm_input() {
+    let a = x(&seq(12, |i| (i as f32 * 0.61).sin() * 1.5), &[4, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let g = t.input(Tensor::from_vec(vec![1.0, 2.0, 0.5], &[3]));
+        let b = t.input(Tensor::from_vec(vec![0.0, 0.1, -0.1], &[3]));
+        let (y, _, _) = t.batch_norm(x, g, b, 1e-5);
+        let w = t.input(Tensor::from_vec(seq(12, |i| (i as f32 * 0.23).cos()), &[4, 3]));
+        let y = t.mul(y, w);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_embedding_table() {
+    let table = x(&seq(10, |i| (i as f32 * 0.33).sin()), &[5, 2]);
+    let err = check_gradient(&table, |t, tab| {
+        let e = t.embedding(tab, &[0, 3, 3, 1]);
+        let e = t.mul(e, e);
+        t.sum_all(e)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_slice_concat() {
+    let a = x(&seq(8, |i| i as f32 * 0.4 - 1.0), &[2, 4]);
+    let err = check_gradient(&a, |t, x| {
+        let l = t.slice_cols(x, 0, 2);
+        let r = t.slice_cols(x, 2, 2);
+        let prod = t.mul(l, r);
+        let y = t.concat_cols(&[prod, l]);
+        let y = t.mul(y, y);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_conv2d_input_and_weight() {
+    let spec = Conv2dSpec {
+        in_channels: 2,
+        out_channels: 3,
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let input = x(&seq(2 * 2 * 5 * 5, |i| (i as f32 * 0.19).sin()), &[2, 2 * 5 * 5]);
+    let err = check_gradient(&input, |t, x| {
+        let w = t.input(Tensor::from_vec(seq(3 * 18, |i| (i as f32 * 0.27).cos()), &[3, 18]));
+        let y = t.conv2d(x, w, spec, 2, 5, 5);
+        let y = t.mul(y, y);
+        t.mean_all(y)
+    });
+    assert!(err < TOL, "input err {err}");
+    let w0 = x(&seq(3 * 18, |i| (i as f32 * 0.27).cos()), &[3, 18]);
+    let err = check_gradient(&w0, |t, w| {
+        let xin = t.input(Tensor::from_vec(
+            seq(2 * 2 * 5 * 5, |i| (i as f32 * 0.19).sin()),
+            &[2, 2 * 5 * 5],
+        ));
+        let y = t.conv2d(xin, w, spec, 2, 5, 5);
+        let y = t.mul(y, y);
+        t.mean_all(y)
+    });
+    assert!(err < TOL, "weight err {err}");
+}
+
+#[test]
+fn grad_permute_and_pool() {
+    let a = x(&seq(24, |i| (i as f32 * 0.11).sin()), &[8, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let n = t.channels_last_to_nchw(x, 2, 2, 2, 3);
+        let n = t.mul(n, n);
+        t.sum_all(n)
+    });
+    assert!(err < TOL, "permute err {err}");
+    let err = check_gradient(&a, |t, x| {
+        let p = t.avg_pool_rows(x, 4);
+        let p = t.mul(p, p);
+        t.sum_all(p)
+    });
+    assert!(err < TOL, "pool err {err}");
+}
+
+#[test]
+fn grad_full_lstm_step_composition() {
+    // A hand-rolled LSTM step out of primitive ops, gradient-checked
+    // end-to-end (this exercises concat → slice → sigmoid/tanh → mul/add).
+    let xin = x(&seq(4, |i| (i as f32 * 0.81).sin()), &[1, 4]);
+    let err = check_gradient(&xin, |t, x| {
+        let h0 = t.input(Tensor::from_vec(seq(3, |i| i as f32 * 0.1), &[1, 3]));
+        let c0 = t.input(Tensor::from_vec(seq(3, |i| 0.2 - i as f32 * 0.1), &[1, 3]));
+        let w = t.input(Tensor::from_vec(seq(12 * 7, |i| (i as f32 * 0.05).sin() * 0.4), &[12, 7]));
+        let xh = t.concat_cols(&[x, h0]);
+        let z = t.matmul_t(xh, w);
+        let i = t.slice_cols(z, 0, 3);
+        let f = t.slice_cols(z, 3, 3);
+        let g = t.slice_cols(z, 6, 3);
+        let o = t.slice_cols(z, 9, 3);
+        let i = t.sigmoid(i);
+        let f = t.sigmoid(f);
+        let g = t.tanh(g);
+        let o = t.sigmoid(o);
+        let fc = t.mul(f, c0);
+        let ig = t.mul(i, g);
+        let c = t.add(fc, ig);
+        let tc = t.tanh(c);
+        let h = t.mul(o, tc);
+        let h2 = t.mul(h, h);
+        t.sum_all(h2)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_concat_rows() {
+    let a = x(&seq(6, |i| (i as f32 * 0.43).sin()), &[2, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let b = t.input(Tensor::from_vec(seq(3, |i| i as f32 * 0.2), &[1, 3]));
+        let stacked = t.concat_rows(&[x, b, x]);
+        let y = t.mul(stacked, stacked);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_scale_reshape_meanall() {
+    let a = x(&seq(6, |i| i as f32 - 2.0), &[2, 3]);
+    let err = check_gradient(&a, |t, x| {
+        let y = t.scale(x, -1.7);
+        let y = t.reshape(y, &[3, 2]);
+        let y = t.mul(y, y);
+        t.mean_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_add_row_bias() {
+    let bias = x(&[0.3, -0.4, 0.5], &[3]);
+    let err = check_gradient(&bias, |t, b| {
+        let xv = t.input(Tensor::from_vec(seq(6, |i| (i as f32 * 0.37).cos()), &[2, 3]));
+        let y = t.add_row(xv, b);
+        let y = t.mul(y, y);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn grad_attention_block() {
+    use af_nn::MultiHeadAttention;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    // Gradient-check the full multi-head attention w.r.t. its input.
+    let q0 = x(&seq(12, |i| (i as f32 * 0.47).sin()), &[3, 4]);
+    let err = check_gradient(&q0, |t, q| {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mha = MultiHeadAttention::new(&mut rng, "a", 4, 2);
+        let mask = MultiHeadAttention::causal_mask(3);
+        let y = mha.forward(t, q, q, Some(&mask));
+        let y = t.mul(y, y);
+        t.sum_all(y)
+    });
+    assert!(err < TOL, "err {err}");
+}
+
+#[test]
+fn tape_reuse_values_after_backward() {
+    // backward must not corrupt forward values (op restore check).
+    let mut t = Tape::new();
+    let a = t.input(x(&[1.0, 2.0], &[2]));
+    let y = t.tanh(a);
+    let before = t.value(y).data().to_vec();
+    let loss = t.sum_all(y);
+    t.backward(loss);
+    assert_eq!(t.value(y).data(), &before[..]);
+}

@@ -1,0 +1,250 @@
+//! im2col / col2im convolution lowering (NCHW layout), the substrate for
+//! `af-nn`'s `Conv2d` layer used by the mini-ResNet.
+
+use crate::tensor::Tensor;
+
+/// Static description of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        conv2d_output_size(h, w, self.kernel, self.stride, self.padding)
+    }
+
+    /// Number of columns of the im2col patch matrix,
+    /// `in_channels · kernel²`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Output spatial size of a convolution:
+/// `(h + 2p − k) / s + 1` per dimension.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit the padded input.
+pub fn conv2d_output_size(
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> (usize, usize) {
+    assert!(
+        h + 2 * padding >= kernel && w + 2 * padding >= kernel,
+        "kernel {kernel} larger than padded input {h}x{w}+{padding}"
+    );
+    (
+        (h + 2 * padding - kernel) / stride + 1,
+        (w + 2 * padding - kernel) / stride + 1,
+    )
+}
+
+/// Lower a batch of NCHW images to the im2col patch matrix.
+///
+/// Input shape `[batch, c, h, w]` (flattened row-major); output is
+/// `[batch · oh · ow, c · k · k]` so that convolution becomes
+/// `patches · weightᵀ`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != batch · c · h · w`.
+pub fn im2col(
+    input: &Tensor,
+    batch: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) -> Tensor {
+    assert_eq!(input.len(), batch * c * h * w, "input size mismatch");
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let patch = spec.patch_len();
+    let mut out = vec![0.0f32; batch * oh * ow * patch];
+    let data = input.data();
+    for b in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                            let dst = row + (ch * k + ky) * k + kx;
+                            out[dst] = data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch * oh * ow, patch])
+}
+
+/// Scatter-add the patch-matrix gradient back to the input layout —
+/// the adjoint of [`im2col`], used by `Conv2d`'s backward pass.
+///
+/// # Panics
+///
+/// Panics if `grad_patches` does not have shape
+/// `[batch · oh · ow, c · k · k]`.
+pub fn col2im(
+    grad_patches: &Tensor,
+    batch: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) -> Tensor {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let patch = spec.patch_len();
+    assert_eq!(
+        grad_patches.shape(),
+        &[batch * oh * ow, patch],
+        "grad patch shape mismatch"
+    );
+    let mut out = vec![0.0f32; batch * c * h * w];
+    let data = grad_patches.data();
+    for b in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                            let src = row + (ch * k + ky) * k + kx;
+                            out[dst] += data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, c * h * w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(cin: usize, cout: usize, k: usize, s: usize, p: usize) -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn output_size_formula() {
+        assert_eq!(conv2d_output_size(8, 8, 3, 1, 1), (8, 8));
+        assert_eq!(conv2d_output_size(8, 8, 3, 2, 1), (4, 4));
+        assert_eq!(conv2d_output_size(5, 5, 5, 1, 0), (1, 1));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1: the patch matrix is just the input,
+        // reordered to [pixels, channels].
+        let s = spec(2, 1, 1, 1, 0);
+        let input = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[8]);
+        let cols = im2col(&input, 1, 2, 2, 2, &s);
+        assert_eq!(cols.shape(), &[4, 2]);
+        // pixel (0,0): channels 0 and 1 → values 0 and 4.
+        assert_eq!(cols.row(0), &[0.0, 4.0]);
+        assert_eq!(cols.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_3x3_padded_matches_manual_conv() {
+        // Convolve a 3×3 all-ones kernel over a 3×3 input with padding 1;
+        // compare against a manual sliding-window sum.
+        let s = spec(1, 1, 3, 1, 1);
+        let input_vals: Vec<f32> = (1..=9).map(|i| i as f32).collect();
+        let input = Tensor::from_vec(input_vals.clone(), &[9]);
+        let cols = im2col(&input, 1, 1, 3, 3, &s);
+        let w = Tensor::ones(&[1, 9]); // [out_channels, patch]
+        let out = cols.matmul_t(&w); // [9, 1]
+        let manual = |cy: isize, cx: isize| -> f32 {
+            let mut acc = 0.0;
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let (y, x) = (cy + dy, cx + dx);
+                    if (0..3).contains(&y) && (0..3).contains(&x) {
+                        acc += input_vals[(y * 3 + x) as usize];
+                    }
+                }
+            }
+            acc
+        };
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(out.data()[y * 3 + x], manual(y as isize, x as isize));
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        // that guarantees correct convolution gradients.
+        let s = spec(2, 3, 3, 2, 1);
+        let (b, c, h, w) = (2, 2, 5, 5);
+        let x = Tensor::from_vec(
+            (0..b * c * h * w).map(|i| ((i * 37 % 17) as f32) - 8.0).collect(),
+            &[b, c * h * w],
+        );
+        let cols = im2col(&x, b, c, h, w, &s);
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|i| ((i * 13 % 11) as f32) - 5.0).collect(),
+            cols.shape(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, b, c, h, w, &s);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn im2col_wrong_size_panics() {
+        let s = spec(1, 1, 3, 1, 1);
+        im2col(&Tensor::zeros(&[5]), 1, 1, 3, 3, &s);
+    }
+}

@@ -1,0 +1,101 @@
+//! Weight initializers (uniform, Gaussian, Xavier, Kaiming).
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo <= hi, "uniform bounds out of order");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Tensor with standard-normal elements scaled by `std` (Box–Muller).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_out, fan_in]` weight:
+/// `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `shape` is not rank 2.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize]) -> Tensor {
+    assert_eq!(shape.len(), 2, "xavier_uniform needs a rank-2 shape");
+    let (fan_out, fan_in) = (shape[0] as f32, shape[1] as f32);
+    let a = (6.0 / (fan_in + fan_out)).sqrt();
+    uniform(rng, shape, -a, a)
+}
+
+/// Kaiming/He uniform initialization for ReLU networks:
+/// `U(−a, a)` with `a = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `shape` is not rank 2.
+pub fn kaiming_uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize]) -> Tensor {
+    assert_eq!(shape.len(), 2, "kaiming_uniform needs a rank-2 shape");
+    let fan_in = shape[1] as f32;
+    let a = (6.0 / fan_in).sqrt();
+    uniform(rng, shape, -a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, &[100], -0.5, 0.5);
+        assert!(t.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = randn(&mut rng, &[10_000], 2.0);
+        let mean = t.mean();
+        let var: f32 =
+            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, &[30, 20]);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(t.abs_max() <= a);
+        // With 600 samples the max should land near the bound.
+        assert!(t.abs_max() > a * 0.9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t1 = randn(&mut StdRng::seed_from_u64(7), &[16], 1.0);
+        let t2 = randn(&mut StdRng::seed_from_u64(7), &[16], 1.0);
+        assert_eq!(t1.data(), t2.data());
+    }
+}

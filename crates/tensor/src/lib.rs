@@ -1,0 +1,31 @@
+//! # af-tensor — dense `f32` tensor substrate
+//!
+//! A small, dependency-light tensor library backing the AdaptivFloat
+//! reproduction's neural-network stack (`af-nn`). Row-major dense storage,
+//! 2-D-centric operations (matrix multiply in all transpose flavours,
+//! elementwise arithmetic with row broadcasting), im2col convolution
+//! helpers, and the usual initializers.
+//!
+//! It deliberately implements only what the paper's three model families
+//! (Transformer, LSTM seq2seq, ResNet) need — no autograd here; that lives
+//! in `af-nn`.
+//!
+//! ```
+//! use af_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod conv;
+pub mod init;
+pub mod tensor;
+
+pub use conv::{col2im, conv2d_output_size, im2col, Conv2dSpec};
+pub use init::{kaiming_uniform, randn, uniform, xavier_uniform};
+pub use tensor::Tensor;

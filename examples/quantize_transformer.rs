@@ -1,0 +1,43 @@
+//! Domain scenario 1 — compress a trained Transformer's weights.
+//!
+//! Trains the miniature translation Transformer to its BLEU plateau, then
+//! post-training-quantizes every layer at 8/6/4 bits in each of the
+//! paper's five formats, and finally shows quantization-aware retraining
+//! rescuing the 4-bit AdaptivFloat model.
+//!
+//! Run with `cargo run --release --example quantize_transformer`.
+
+use adaptivfloat::FormatKind;
+use af_models::model::retrain_quantized;
+use af_models::{MiniTransformer, QuantizableModel};
+use af_nn::QuantSpec;
+
+fn main() {
+    println!("training the mini Transformer (toy translation task)...");
+    let mut model = MiniTransformer::new(7);
+    model.train_steps(350);
+    let fp32 = model.evaluate(16);
+    println!("FP32 BLEU = {fp32:.1}\n");
+    let snapshot = model.snapshot();
+
+    println!("post-training quantization (all layers, including embeddings):");
+    println!("{:<14} {:>7} {:>7} {:>7}", "format", "8-bit", "6-bit", "4-bit");
+    for kind in FormatKind::ALL {
+        let mut row = format!("{:<14}", kind.label());
+        for bits in [8u32, 6, 4] {
+            model.restore(&snapshot);
+            model
+                .quantize_weights_ptq(QuantSpec::new(kind, bits))
+                .expect("paper bit widths are valid");
+            row.push_str(&format!(" {:>7.1}", model.evaluate(16)));
+        }
+        println!("{row}");
+    }
+
+    println!("\nquantization-aware retraining at 4-bit AdaptivFloat:");
+    model.restore(&snapshot);
+    model.reset_optimizer();
+    retrain_quantized(&mut model, QuantSpec::new(FormatKind::AdaptivFloat, 4), 120)
+        .expect("valid spec");
+    println!("QAR BLEU = {:.1} (vs FP32 {fp32:.1})", model.evaluate(16));
+}

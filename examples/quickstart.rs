@@ -1,0 +1,47 @@
+//! Quickstart: quantize a weight tensor with AdaptivFloat and compare it
+//! against the other formats the paper evaluates.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use adaptivfloat::{rms_error, AdaptivFloat, FormatKind, NumberFormat, TensorStats};
+
+fn main() -> Result<(), adaptivfloat::FormatError> {
+    // A small weight tensor with one order-of-magnitude outlier — the
+    // situation the paper's introduction motivates.
+    let weights: Vec<f32> = (0..64)
+        .map(|i| ((i as f32 * 0.7).sin()) * 0.4)
+        .chain([6.3f32, -5.1])
+        .collect();
+    let stats = TensorStats::from_slice(&weights);
+    println!("tensor: {} values, range [{:.2}, {:.2}]\n", stats.count, stats.min, stats.max);
+
+    // --- AdaptivFloat<8,3>: Algorithm 1 in three lines ---
+    let fmt = AdaptivFloat::new(8, 3)?;
+    let params = fmt.params_for(&weights);
+    let q = fmt.quantize_slice(&weights);
+    println!(
+        "AdaptivFloat<8,3>: exp_bias = {}, representable |v| in [{:.4}, {:.1}]",
+        params.exp_bias,
+        params.value_min(),
+        params.value_max()
+    );
+    println!("  rms error = {:.5}", rms_error(&weights, &q));
+
+    // Bit-level storage: pack the whole tensor to 8-bit codes.
+    let packed = fmt.quantize_tensor(&weights);
+    println!(
+        "  packed to {} bytes ({} bits/value) + one 4-bit exp_bias register\n",
+        packed.packed_bytes(),
+        fmt.n()
+    );
+
+    // --- the same tensor through every format of the paper, 8 and 4 bit ---
+    println!("format comparison (rms error vs FP32):");
+    println!("{:<16} {:>10} {:>10}", "format", "8-bit", "4-bit");
+    for kind in FormatKind::ALL {
+        let e8 = rms_error(&weights, &kind.build(8)?.quantize_slice(&weights));
+        let e4 = rms_error(&weights, &kind.build(4)?.quantize_slice(&weights));
+        println!("{:<16} {:>10.5} {:>10.5}", kind.label(), e8, e4);
+    }
+    Ok(())
+}

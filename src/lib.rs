@@ -1,0 +1,29 @@
+//! Umbrella crate for the AdaptivFloat reproduction workspace.
+//!
+//! Re-exports the member crates so that the top-level `examples/` and
+//! `tests/` can reach every subsystem through one dependency:
+//!
+//! * [`adaptivfloat`] — the number formats and quantization algorithms
+//!   (the paper's primary contribution).
+//! * [`af_tensor`] — the dense tensor substrate.
+//! * [`af_nn`] — autograd, layers, and quantization-aware training.
+//! * [`af_models`] — the model zoo, synthetic datasets, and task metrics.
+//! * [`af_hw`] — the INT / HFINT processing-element and accelerator models.
+//!
+//! # Examples
+//!
+//! ```
+//! use adaptivfloat_repro::adaptivfloat::AdaptivFloat;
+//! use adaptivfloat_repro::adaptivfloat::NumberFormat;
+//!
+//! let fmt = AdaptivFloat::new(8, 3)?;
+//! let quantized = fmt.quantize_slice(&[0.1, -2.5, 7.9]);
+//! assert_eq!(quantized.len(), 3);
+//! # Ok::<(), adaptivfloat_repro::adaptivfloat::FormatError>(())
+//! ```
+
+pub use adaptivfloat;
+pub use af_hw;
+pub use af_models;
+pub use af_nn;
+pub use af_tensor;

@@ -1,0 +1,85 @@
+//! End-to-end integration: train a model, quantize it through the whole
+//! stack (format → fake-quant op → model → task metric), and check the
+//! paper's qualitative claims.
+
+use adaptivfloat::FormatKind;
+use af_models::model::retrain_quantized;
+use af_models::{MiniResNet, QuantizableModel, Seq2Seq};
+use af_nn::QuantSpec;
+
+#[test]
+fn resnet_ptq_8bit_is_nearly_lossless() {
+    let mut model = MiniResNet::new(11);
+    model.train_steps(80);
+    let fp32 = model.evaluate(60);
+    assert!(fp32 > 80.0, "FP32 baseline too weak: {fp32}");
+    model
+        .quantize_weights_ptq(QuantSpec::new(FormatKind::AdaptivFloat, 8))
+        .expect("valid spec");
+    let q8 = model.evaluate(60);
+    assert!(q8 >= fp32 - 5.0, "8-bit PTQ dropped too far: {fp32} → {q8}");
+}
+
+#[test]
+fn qar_recovers_what_ptq_loses() {
+    // At 4 bits PTQ hurts; retraining with the straight-through estimator
+    // recovers (the core mechanism behind the paper's Table 2 QAR rows).
+    let mut model = MiniResNet::new(12);
+    model.train_steps(80);
+    let snapshot = model.snapshot();
+    let spec = QuantSpec::new(FormatKind::AdaptivFloat, 4);
+    model.quantize_weights_ptq(spec).expect("valid spec");
+    let ptq = model.evaluate(60);
+    model.restore(&snapshot);
+    model.reset_optimizer();
+    retrain_quantized(&mut model, spec, 30).expect("valid spec");
+    let qar = model.evaluate(60);
+    assert!(
+        qar >= ptq - 1e-9,
+        "QAR ({qar}) must not be worse than PTQ ({ptq})"
+    );
+    assert!(qar > 60.0, "4-bit QAR should be usable: {qar}");
+}
+
+#[test]
+fn weight_and_activation_quantization_8bit_works() {
+    let mut model = MiniResNet::new(13);
+    model.train_steps(80);
+    let fp32 = model.evaluate(60);
+    let q = QuantSpec::new(FormatKind::AdaptivFloat, 8)
+        .build()
+        .expect("valid spec");
+    model.set_weight_quantizer(Some(q.clone()));
+    model.set_act_quantizer(Some(q));
+    model.train_steps(10); // brief QAR with observers live
+    let w8a8 = model.evaluate(60);
+    assert!(w8a8 >= fp32 - 10.0, "W8/A8 dropped too far: {fp32} → {w8a8}");
+}
+
+#[test]
+fn seq2seq_survives_8bit_adaptivfloat() {
+    let mut model = Seq2Seq::new(14);
+    model.train_steps(900);
+    let fp32 = model.evaluate(16);
+    assert!(fp32 < 40.0, "FP32 WER too high: {fp32}");
+    model
+        .quantize_weights_ptq(QuantSpec::new(FormatKind::AdaptivFloat, 8))
+        .expect("valid spec");
+    let q8 = model.evaluate(16);
+    assert!(q8 <= fp32 + 15.0, "8-bit PTQ WER blew up: {fp32} → {q8}");
+}
+
+#[test]
+fn snapshots_are_faithful() {
+    let mut model = MiniResNet::new(15);
+    model.train_steps(5);
+    let before = model.evaluate(40);
+    let snapshot = model.snapshot();
+    // Wreck the weights, then restore.
+    model
+        .quantize_weights_ptq(QuantSpec::new(FormatKind::Uniform, 4))
+        .expect("valid spec");
+    model.restore(&snapshot);
+    let after = model.evaluate(40);
+    assert_eq!(before, after, "restore must reproduce the exact metric");
+}

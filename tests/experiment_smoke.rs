@@ -1,0 +1,52 @@
+//! Smoke tests for the experiment regenerators that do not require model
+//! training (the training-backed ones are covered in `af-bench`'s own
+//! test suite and the `--ignored` long tests).
+
+#[test]
+fn fig1_through_fig3_render() {
+    let f1 = af_bench::fig1::run(true);
+    assert!(f1.rendered.contains("Transformer"));
+    let f2 = af_bench::fig2::run(true);
+    assert!(f2.rendered.contains("AdaptivFloat"));
+    let f3 = af_bench::fig3::run(true);
+    assert!(f3.rendered.contains("exp_bias = -2"));
+}
+
+#[test]
+fn fig4_reproduces_the_rms_ordering() {
+    use adaptivfloat::FormatKind;
+    use af_models::ensembles::EnsembleKind;
+    let fig = af_bench::fig4::run(true);
+    // Headline: AdaptivFloat's mean RMS is the lowest at every (model,
+    // bits) combination.
+    for model in EnsembleKind::EVALUATED {
+        for bits in [4, 6, 8] {
+            let af = fig.cell(model, FormatKind::AdaptivFloat, bits).stats.mean;
+            for other in FormatKind::ALL {
+                let o = fig.cell(model, other, bits).stats.mean;
+                assert!(af <= o * 1.001, "{model} {bits}b {other}: {af} vs {o}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hardware_experiments_render_and_hold_shape() {
+    let f5 = af_bench::fig5::run(true);
+    assert!(f5.hfint_datapath_error < 1e-9);
+    let f6 = af_bench::fig6::run(true);
+    assert_eq!(f6.breakdown.0, 512);
+    let f7 = af_bench::fig7::run(true);
+    assert_eq!(f7.points.len(), 12);
+    let t4 = af_bench::table4::run(true);
+    assert!(t4.hfint.power_mw < t4.int.power_mw);
+    assert!(t4.hfint.area_mm2 > t4.int.area_mm2);
+}
+
+#[test]
+fn ablations_confirm_design_choices() {
+    let a = af_bench::ablations::run(true);
+    assert_eq!(a.exp_bits.len(), 6);
+    assert_eq!(a.bfp_block.len(), 3);
+    assert!(a.rendered.contains("scale register bits"));
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the number-format invariants, across crates.
+
+use adaptivfloat::{
+    AdaptivFloat, BlockFloat, FixedPoint, FormatKind, IeeeLikeFloat, NumberFormat, Posit, Uniform,
+};
+use proptest::prelude::*;
+
+fn finite_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1000.0f32..1000.0, 1..128)
+}
+
+proptest! {
+    /// Quantization is idempotent for every format at every paper width.
+    #[test]
+    fn idempotent_quantization(data in finite_vec(), kind_idx in 0usize..5, bits in 4u32..=8) {
+        let kind = FormatKind::ALL[kind_idx];
+        let fmt = kind.build(bits).expect("valid");
+        let q1 = fmt.quantize_slice(&data);
+        let q2 = fmt.quantize_slice(&q1);
+        prop_assert_eq!(q1, q2, "{} at {} bits", kind, bits);
+    }
+
+    /// Adaptive formats never produce values beyond max|data| by more
+    /// than their top-grid-point overshoot (the max is exactly covered).
+    #[test]
+    fn adaptive_range_covers_data(data in finite_vec(), bits in 4u32..=8) {
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for kind in [FormatKind::AdaptivFloat, FormatKind::Uniform, FormatKind::Bfp] {
+            let fmt = kind.build(bits).expect("valid");
+            let q = fmt.quantize_slice(&data);
+            for &v in &q {
+                // AdaptivFloat's value_max is ≥ 2^exp_max ≥ max/2 and can
+                // exceed max by < 2×; uniform/BFP never exceed max (+1 step).
+                prop_assert!(v.abs() <= max_abs * 2.0 + 1e-6,
+                    "{} {}b produced {} for max {}", kind, bits, v, max_abs);
+            }
+        }
+    }
+
+    /// The quantization error of any format is bounded by the coarsest
+    /// possible step: max|data| (everything collapsing to 0 or ±max).
+    #[test]
+    fn error_bounded_by_max(data in finite_vec(), kind_idx in 0usize..5, bits in 4u32..=8) {
+        let kind = FormatKind::ALL[kind_idx];
+        let fmt = kind.build(bits).expect("valid");
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let q = fmt.quantize_slice(&data);
+        for (&orig, &quant) in data.iter().zip(&q) {
+            // Posit saturates at minpos (no underflow) but minpos is tiny;
+            // the universal bound still holds with a small slack.
+            prop_assert!((orig - quant).abs() <= max_abs + 1.0,
+                "{} {}b: {} -> {}", kind, bits, orig, quant);
+        }
+    }
+
+    /// Quantizing an already-representable AdaptivFloat value is exact,
+    /// and the packed codec round-trips.
+    #[test]
+    fn adaptivfloat_codec_roundtrip(data in finite_vec(), e in 2u32..=4) {
+        let fmt = AdaptivFloat::new(8, e).expect("valid");
+        let qt = fmt.quantize_tensor(&data);
+        let direct = fmt.quantize_slice(&data);
+        prop_assert_eq!(qt.dequantize(), direct);
+    }
+
+    /// Sign symmetry: q(−x) == −q(x) for symmetric formats under fixed
+    /// parameters.
+    #[test]
+    fn sign_symmetry(data in finite_vec()) {
+        let fmt = AdaptivFloat::new(8, 3).expect("valid");
+        let params = fmt.params_for(&data);
+        for &v in &data {
+            prop_assert_eq!(fmt.quantize_with(&params, v),
+                            -fmt.quantize_with(&params, -v));
+        }
+    }
+
+    /// More bits never increase AdaptivFloat's per-element error (same
+    /// exponent field, growing mantissa).
+    #[test]
+    fn monotone_in_mantissa_bits(data in finite_vec()) {
+        let coarse = AdaptivFloat::new(6, 3).expect("valid");
+        let fine = AdaptivFloat::new(8, 3).expect("valid");
+        let pc = coarse.params_for(&data);
+        let pf = fine.params_for(&data);
+        for &v in &data {
+            let ec = (v - coarse.quantize_with(&pc, v)).abs();
+            let ef = (v - fine.quantize_with(&pf, v)).abs();
+            prop_assert!(ef <= ec + 1e-6, "v={v}: fine {ef} coarse {ec}");
+        }
+    }
+
+    /// Posit codes round-trip through quantize for every width/es pair.
+    #[test]
+    fn posit_fixed_points(n in 4u32..=10, es in 0u32..=2) {
+        let p = Posit::new(n, es).expect("valid");
+        for code in 0..(1u32 << n) {
+            if code == 1 << (n - 1) { continue; } // NaR
+            let v = p.decode(code);
+            prop_assert_eq!(p.quantize_value(v), v);
+        }
+    }
+
+    /// IEEE-like float decode∘encode is identity on representable values.
+    #[test]
+    fn ieee_like_fixed_points(n in 4u32..=10, e_off in 0u32..=2) {
+        let e = 3 + e_off;
+        prop_assume!(e <= n - 1);
+        let f = IeeeLikeFloat::new(n, e).expect("valid");
+        for code in 0..(1u32 << n) {
+            let v = f.decode(code);
+            prop_assert_eq!(f.quantize_value(v), v);
+        }
+    }
+
+    /// Block floating-point: the largest-magnitude element survives with
+    /// bounded relative error (it defines the shared exponent).
+    #[test]
+    fn bfp_preserves_max(data in prop::collection::vec(-100.0f32..100.0, 2..64), bits in 6u32..=10) {
+        let max_abs = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assume!(max_abs > 1e-3);
+        let fmt = BlockFloat::new(bits).expect("valid");
+        let q = fmt.quantize_slice(&data);
+        let idx = data.iter().position(|v| v.abs() == max_abs).expect("exists");
+        let rel = (data[idx] - q[idx]).abs() / max_abs;
+        // Grid step at the top binade is 2^(E−n+3) ≤ max·2^(3−n)·2.
+        prop_assert!(rel <= (3.0f32 - bits as f32).exp2() * 2.0, "rel {rel}");
+    }
+
+    /// Fixed-point and uniform agree on grid-aligned values.
+    #[test]
+    fn fixed_point_grid(k in -100i32..100) {
+        let fmt = FixedPoint::new(8, 2).expect("valid");
+        let v = k as f32 * 0.03125;
+        if v.abs() <= fmt.value_max() as f32 {
+            prop_assert_eq!(fmt.quantize_value(v), v);
+        }
+    }
+
+    /// Uniform's integer levels stay within the signed range.
+    #[test]
+    fn uniform_levels_in_range(data in finite_vec(), bits in 4u32..=8) {
+        let fmt = Uniform::new(bits).expect("valid");
+        let (_, levels) = fmt.quantize_levels(&data);
+        let q_max = fmt.q_max();
+        for l in levels {
+            prop_assert!(l.abs() <= q_max);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-crate consistency between the quantization algorithms and the
+//! hardware model.
+
+use adaptivfloat::AdaptivFloat;
+use af_hw::arith::hfint_dot;
+use af_hw::{Accelerator, CostParams, LstmWorkload, PeConfig, PeKind, PeModel};
+use af_nn::{Layer, Linear, Tape};
+use af_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fake-quantized `af-nn` Linear layer and the bit-accurate HFINT
+/// datapath must compute the same numbers: what the training stack
+/// simulates is exactly what the hardware would produce.
+#[test]
+fn nn_fake_quant_matches_hfint_datapath() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let fmt = AdaptivFloat::new(8, 3).unwrap();
+    let mut layer = Linear::new(&mut rng, "fc", 64, 1);
+    layer.b.value = Tensor::zeros(&[1]);
+    let quantizer: af_nn::Quantizer = std::sync::Arc::new(fmt);
+    layer.set_weight_quantizer(Some(quantizer.clone()));
+    let x_data: Vec<f32> = (0..64).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.1).collect();
+    // The nn stack: fake-quant weights AND input, FP32 matmul.
+    let mut tape = Tape::new();
+    let x = tape.input(Tensor::from_vec(x_data.clone(), &[1, 64]));
+    let xq = tape.fake_quant(x, &quantizer);
+    let y = layer.forward(&mut tape, xq);
+    let nn_result = tape.value(y).data()[0] as f64;
+    // The hardware: encode both operands, integer MAC.
+    let w_data = layer.w.value.data().to_vec();
+    let wp = fmt.params_for(&w_data);
+    let ap = fmt.params_for(&x_data);
+    let wc: Vec<u32> = w_data.iter().map(|&v| fmt.encode_with(&wp, v)).collect();
+    let ac: Vec<u32> = x_data.iter().map(|&v| fmt.encode_with(&ap, v)).collect();
+    let (_, hw_result) = hfint_dot(&fmt, &wp, &ap, &wc, &ac);
+    // FP32 matmul of quantized values vs exact integer accumulation:
+    // agreement to f32 accumulation error.
+    assert!(
+        (nn_result - hw_result).abs() < 1e-4,
+        "nn {nn_result} vs hw {hw_result}"
+    );
+}
+
+#[test]
+fn fig7_and_table4_tell_the_same_story() {
+    // The PE-level energy advantage must survive the system rollup.
+    let params = CostParams::finfet16();
+    let pe_ratio = PeModel::new(PeKind::HfInt, PeConfig::paper(8, 16), &params).energy_per_op_fj()
+        / PeModel::new(PeKind::Int, PeConfig::paper(8, 16), &params).energy_per_op_fj();
+    let w = LstmWorkload::paper();
+    let int = Accelerator::paper_system(PeKind::Int, 8, 16).run(&w);
+    let hf = Accelerator::paper_system(PeKind::HfInt, 8, 16).run(&w);
+    let sys_ratio = hf.power_mw / int.power_mw;
+    assert!(pe_ratio < 1.0 && sys_ratio < 1.0);
+    // System ratio is diluted toward 1 by shared SRAM/bus/leakage power.
+    assert!(
+        sys_ratio > pe_ratio - 0.02,
+        "system {sys_ratio} vs PE {pe_ratio}"
+    );
+}
+
+#[test]
+fn accumulator_width_drives_energy_ordering() {
+    // HFINT4/22 vs INT4/16/24 and HFINT8/30 vs INT8/24/40: widths from
+    // the format geometry must match what the PE model reports.
+    let params = CostParams::finfet16();
+    for (n, int_a, hf_a) in [(4u32, 16u32, 22u32), (8, 24, 30)] {
+        let int = PeModel::new(PeKind::Int, PeConfig::paper(n, 16), &params);
+        let hf = PeModel::new(PeKind::HfInt, PeConfig::paper(n, 16), &params);
+        assert_eq!(int.accumulator_bits(), int_a);
+        assert_eq!(hf.accumulator_bits(), hf_a);
+    }
+}
+
+#[test]
+fn quantized_weights_fit_weight_buffer() {
+    // The paper's buffer sizing: all four gate matrices at 8 bits must
+    // fit the 4 × 256 KB weight buffers.
+    let acc = Accelerator::paper_system(PeKind::HfInt, 8, 16);
+    let w = LstmWorkload::paper();
+    let bytes_needed = w.weight_count() as usize * 8 / 8;
+    assert!(bytes_needed <= acc.weight_buffer_bytes() * acc.num_pes());
+}
+
+#[test]
+fn exp_bias_register_width_is_4_bits() {
+    // The paper allocates 4-bit registers for the exponent biases. The
+    // bias is "a small, typically negative, integer": for 8-bit
+    // AdaptivFloat and layer maxima from 2^-8 to 2^6, bias ∈ [−15, 0] —
+    // exactly 16 values, i.e. a 4-bit magnitude register.
+    let fmt = AdaptivFloat::new(8, 3).unwrap();
+    for max_abs in [0.004f32, 0.05, 0.5, 2.4, 20.4, 100.0] {
+        let params = fmt.params_for(&[max_abs]);
+        assert!(
+            (-15..=0).contains(&params.exp_bias),
+            "bias {} for max {}",
+            params.exp_bias,
+            max_abs
+        );
+    }
+}
