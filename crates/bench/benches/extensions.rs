@@ -10,8 +10,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("extensions/exponent_search_8bit", |b| {
         b.iter(|| {
             std::hint::black_box(
-                adaptivfloat::search::search_adaptivfloat_exponent(8, &[&layer])
-                    .expect("feasible"),
+                adaptivfloat::search::search_adaptivfloat_exponent(8, &[&layer]).expect("feasible"),
             )
         })
     });

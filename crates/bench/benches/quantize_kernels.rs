@@ -1,8 +1,9 @@
 //! Kernel micro-benches: quantization throughput of every format, the
 //! bit-packed codec, and the bit-accurate MAC datapaths.
 
-use adaptivfloat::{AdaptivFloat, FormatKind, Uniform};
+use adaptivfloat::{AdaptivFloat, FormatKind, NumberFormat, Uniform};
 use af_hw::arith::{hfint_dot, int_dot_scaled};
+use af_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn data(n: usize) -> Vec<f32> {
@@ -18,12 +19,57 @@ fn quantize_formats(c: &mut Criterion) {
     for kind in FormatKind::ALL {
         for bits in [4u32, 8] {
             let fmt = kind.build(bits).expect("valid");
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), bits),
-                &w,
-                |b, w| b.iter(|| std::hint::black_box(fmt.quantize_slice(w))),
-            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), bits), &w, |b, w| {
+                b.iter(|| std::hint::black_box(fmt.quantize_slice(w)))
+            });
         }
+    }
+    g.finish();
+}
+
+/// The headline speedup row: 1M-element AdaptivFloat<8,3> through the
+/// bit-twiddled fast kernel (`quantize_slice`) vs the scalar f64
+/// reference (`quantize_slice_reference`). Run with `AF_NUM_THREADS=1`
+/// to measure the single-thread kernel speedup alone; the default run
+/// adds the scoped-thread fan-out on top.
+fn adaptivfloat_1m(c: &mut Criterion) {
+    const N: usize = 1 << 20;
+    let w = data(N);
+    let fmt = AdaptivFloat::new(8, 3).expect("valid");
+    let mut g = c.benchmark_group("adaptivfloat_1m");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_with_input(BenchmarkId::new("fast", 8), &w, |b, w| {
+        b.iter(|| std::hint::black_box(fmt.quantize_slice(w)))
+    });
+    g.bench_with_input(BenchmarkId::new("reference", 8), &w, |b, w| {
+        b.iter(|| std::hint::black_box(fmt.quantize_slice_reference(w)))
+    });
+    let fmt4 = AdaptivFloat::new(4, 2).expect("valid");
+    g.bench_with_input(BenchmarkId::new("fast", 4), &w, |b, w| {
+        b.iter(|| std::hint::black_box(fmt4.quantize_slice(w)))
+    });
+    g.bench_with_input(BenchmarkId::new("reference", 4), &w, |b, w| {
+        b.iter(|| std::hint::black_box(fmt4.quantize_slice_reference(w)))
+    });
+    g.finish();
+}
+
+/// Square matmul scaling rows for the blocked parallel kernel. Elements
+/// = multiply-accumulates, so `ns_per_elem` reads as ns/MAC.
+fn matmul_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul_square");
+    for n in [64usize, 128, 256, 512] {
+        let a = Tensor::from_vec(data(n * n), &[n, n]);
+        let b_mat = Tensor::from_vec(data(n * n), &[n, n]);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("matmul", n), &(&a, &b_mat), |b, (x, y)| {
+            b.iter(|| std::hint::black_box(x.matmul(y)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("matmul_t", n),
+            &(&a, &b_mat),
+            |b, (x, y)| b.iter(|| std::hint::black_box(x.matmul_t(y))),
+        );
     }
     g.finish();
 }
@@ -62,6 +108,6 @@ fn mac_datapaths(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = quantize_formats, codec, mac_datapaths
+    targets = quantize_formats, adaptivfloat_1m, matmul_scaling, codec, mac_datapaths
 }
 criterion_main!(benches);

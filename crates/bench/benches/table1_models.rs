@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     println!("\n{}", t.rendered);
     let budget = af_bench::Budget::quick();
     let mut model = af_bench::table1::build(ModelFamily::Transformer, 42);
-    model.train_steps(af_bench::table1::fp32_steps(&budget, ModelFamily::Transformer));
+    model.train_steps(af_bench::table1::fp32_steps(
+        &budget,
+        ModelFamily::Transformer,
+    ));
     c.bench_function("table1/transformer_evaluate", |b| {
         b.iter(|| std::hint::black_box(model.evaluate(5)))
     });

@@ -43,10 +43,7 @@ fn transformer_layers(quick: bool) -> Vec<Vec<f32>> {
 }
 
 fn mean_rms(layers: &[Vec<f32>], quantize: impl Fn(&[f32]) -> Vec<f32>) -> f64 {
-    let total: f64 = layers
-        .iter()
-        .map(|w| rms_error(w, &quantize(w)))
-        .sum();
+    let total: f64 = layers.iter().map(|w| rms_error(w, &quantize(w))).sum();
     total / layers.len() as f64
 }
 
@@ -99,7 +96,10 @@ pub fn run(quick: bool) -> Ablations {
     // 4. BFP block size.
     let mut bfp_block = Vec::new();
     for (name, fmt) in [
-        ("per-tensor (paper)".to_string(), BlockFloat::new(8).expect("valid")),
+        (
+            "per-tensor (paper)".to_string(),
+            BlockFloat::new(8).expect("valid"),
+        ),
         (
             "block 256".to_string(),
             BlockFloat::with_block_size(8, 256).expect("valid"),
@@ -251,10 +251,7 @@ mod tests {
         let a = shared();
         assert_eq!(a.hfint_exp_bits.len(), 4);
         let energies: Vec<f64> = a.hfint_exp_bits.iter().map(|x| x.1).collect();
-        let best = energies
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = energies.iter().cloned().fold(f64::INFINITY, f64::min);
         let e3 = a.hfint_exp_bits[1].1;
         assert!(e3 <= best * 1.15, "e=3 energy {e3} vs best {best}");
     }

@@ -133,7 +133,11 @@ pub fn run(quick: bool) -> Extensions {
             format!("{rms:.5}"),
             format!("{:.4}", fmt.overhead_bits_per_element()),
         ]);
-        granularity.push((format!("block {block}"), rms, fmt.overhead_bits_per_element()));
+        granularity.push((
+            format!("block {block}"),
+            rms,
+            fmt.overhead_bits_per_element(),
+        ));
     }
     out.push_str("3. exponent-bias granularity (AdaptivFloat<6,3>)\n");
     out.push_str(&t.render());
@@ -145,11 +149,7 @@ pub fn run(quick: bool) -> Extensions {
     let mut rounder = StochasticRounder::new(1234);
     let stochastic = fmt.quantize_slice_stochastic(w, &mut rounder);
     let bias = |q: &[f32]| -> f64 {
-        w.iter()
-            .zip(q)
-            .map(|(&a, &b)| (b - a) as f64)
-            .sum::<f64>()
-            / w.len() as f64
+        w.iter().zip(q).map(|(&a, &b)| (b - a) as f64).sum::<f64>() / w.len() as f64
     };
     let mut rounding = Vec::new();
     let mut t = TextTable::new(["rounding", "RMS", "mean signed error"]);

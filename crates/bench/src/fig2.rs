@@ -16,8 +16,16 @@ pub struct Fig2 {
 pub fn run(_quick: bool) -> Fig2 {
     let comparison = figure2_comparison(4, 2, -2);
     let mut out = String::from("Figure 2: zero representation in AdaptivFloat\n\n");
-    out.push_str(&format!("{:<34}{}\n", comparison.left_label, comparison.right_label));
-    let pos_left: Vec<f32> = comparison.left.iter().copied().filter(|&v| v > 0.0).collect();
+    out.push_str(&format!(
+        "{:<34}{}\n",
+        comparison.left_label, comparison.right_label
+    ));
+    let pos_left: Vec<f32> = comparison
+        .left
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .collect();
     let pos_right: Vec<f32> = comparison
         .right
         .iter()
@@ -26,13 +34,16 @@ pub fn run(_quick: bool) -> Fig2 {
         .collect();
     let rows = pos_left.len().max(pos_right.len());
     for i in 0..rows {
-        let l = pos_left
-            .get(i)
-            .map(|v| format!("±{v}"))
-            .unwrap_or_default();
+        let l = pos_left.get(i).map(|v| format!("±{v}")).unwrap_or_default();
         let r = pos_right
             .get(i)
-            .map(|v| if *v == 0.0 { "±0".to_string() } else { format!("±{v}") })
+            .map(|v| {
+                if *v == 0.0 {
+                    "±0".to_string()
+                } else {
+                    format!("±{v}")
+                }
+            })
             .unwrap_or_default();
         out.push_str(&format!("{l:<34}{r}\n"));
     }

@@ -40,7 +40,9 @@ pub fn run(_quick: bool) -> Fig3 {
     ));
     out.push_str("W_fp (full precision)              W_adaptiv (quantized)\n");
     for r in 0..4 {
-        let fp: Vec<String> = (0..4).map(|c| format!("{:>6.2}", EXAMPLE[r * 4 + c])).collect();
+        let fp: Vec<String> = (0..4)
+            .map(|c| format!("{:>6.2}", EXAMPLE[r * 4 + c]))
+            .collect();
         let q: Vec<String> = (0..4)
             .map(|c| format!("{:>6}", crate::render::metric(quantized[r * 4 + c] as f64)))
             .collect();

@@ -32,7 +32,7 @@ impl BoxStats {
     /// # Panics
     ///
     /// Panics if `values` is empty.
-    pub fn from(values: &mut Vec<f64>) -> Self {
+    pub fn from(values: &mut [f64]) -> Self {
         assert!(!values.is_empty(), "no layers");
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
         let q = |p: f64| values[((values.len() - 1) as f64 * p).round() as usize];
@@ -72,7 +72,7 @@ pub struct Fig4 {
 
 /// Regenerate Figure 4 from the weight ensembles.
 pub fn run(quick: bool) -> Fig4 {
-    let (layers, layer_size) = if quick { (8, 512) } else { (16, 4096) };
+    let (layers, layer_size) = if quick { (8, 2048) } else { (16, 4096) };
     let mut rng = StdRng::seed_from_u64(0xF164);
     let mut cells = Vec::new();
     let mut table = TextTable::new([
@@ -145,7 +145,12 @@ mod tests {
         for model in EnsembleKind::EVALUATED {
             for bits in [4, 6, 8] {
                 let af = fig.cell(model, FormatKind::AdaptivFloat, bits).stats.mean;
-                for other in [FormatKind::Float, FormatKind::Bfp, FormatKind::Uniform, FormatKind::Posit] {
+                for other in [
+                    FormatKind::Float,
+                    FormatKind::Bfp,
+                    FormatKind::Uniform,
+                    FormatKind::Posit,
+                ] {
                     let o = fig.cell(model, other, bits).stats.mean;
                     assert!(
                         af <= o * 1.001,

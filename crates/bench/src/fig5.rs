@@ -30,8 +30,12 @@ pub fn run(_quick: bool) -> Fig5 {
     let int_pe = PeModel::new(PeKind::Int, PeConfig::paper(8, 16), &params);
     let hfint_pe = PeModel::new(PeKind::HfInt, PeConfig::paper(8, 16), &params);
     // Bit-accurate drive: H = 256 values.
-    let w: Vec<f32> = (0..256).map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.021).collect();
-    let a: Vec<f32> = (0..256).map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.017).collect();
+    let w: Vec<f32> = (0..256)
+        .map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.021)
+        .collect();
+    let a: Vec<f32> = (0..256)
+        .map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.017)
+        .collect();
     // HFINT path.
     let fmt = AdaptivFloat::new(8, 3).expect("valid");
     let wp = fmt.params_for(&w);

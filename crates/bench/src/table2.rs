@@ -62,7 +62,13 @@ pub fn run(quick: bool) -> Table2 {
     let mut fp32 = Vec::new();
     let mut cells = Vec::new();
     let mut table = TextTable::new([
-        "model", "#bits", "Float", "BFP", "Uniform", "Posit", "AdaptivFloat",
+        "model",
+        "#bits",
+        "Float",
+        "BFP",
+        "Uniform",
+        "Posit",
+        "AdaptivFloat",
     ]);
     for family in families() {
         let mut model = build(family, 42);
@@ -100,11 +106,15 @@ pub fn run(quick: bool) -> Table2 {
             table.row(row);
         }
     }
-    let mut rendered = String::from(
-        "Table 2: weight bit compression, PTQ / QAR (post-training / retrained)\n",
-    );
+    let mut rendered =
+        String::from("Table 2: weight bit compression, PTQ / QAR (post-training / retrained)\n");
     for (family, v) in &fp32 {
-        rendered.push_str(&format!("FP32 {} {} = {}\n", family, family.metric(), metric(*v)));
+        rendered.push_str(&format!(
+            "FP32 {} {} = {}\n",
+            family,
+            family.metric(),
+            metric(*v)
+        ));
     }
     rendered.push_str(&table.render());
     Table2 {
@@ -152,7 +162,12 @@ mod tests {
         let t = run(true);
         for family in families() {
             let af = goodness(family, t.cell(family, FormatKind::AdaptivFloat, 4).qar);
-            for other in [FormatKind::Float, FormatKind::Bfp, FormatKind::Uniform, FormatKind::Posit] {
+            for other in [
+                FormatKind::Float,
+                FormatKind::Bfp,
+                FormatKind::Uniform,
+                FormatKind::Posit,
+            ] {
                 let o = goodness(family, t.cell(family, other, 4).qar);
                 assert!(af >= o, "{family}: AdaptivFloat {af} vs {other} {o}");
             }

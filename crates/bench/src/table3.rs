@@ -45,7 +45,13 @@ pub fn run(quick: bool) -> Table3 {
     let budget = Budget::for_mode(quick);
     let mut cells = Vec::new();
     let mut table = TextTable::new([
-        "model", "W/A", "Float", "BFP", "Uniform", "Posit", "AdaptivFloat",
+        "model",
+        "W/A",
+        "Float",
+        "BFP",
+        "Uniform",
+        "Posit",
+        "AdaptivFloat",
     ]);
     for family in families() {
         let mut model = build(family, 42);

@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn magnitudes_near_paper() {
         let t = run(false);
-        assert!((40.0..160.0).contains(&t.int.power_mw), "{}", t.int.power_mw);
+        assert!(
+            (40.0..160.0).contains(&t.int.power_mw),
+            "{}",
+            t.int.power_mw
+        );
         assert!((3.0..12.0).contains(&t.int.area_mm2), "{}", t.int.area_mm2);
         assert!((60.0..110.0).contains(&t.int.time_us), "{}", t.int.time_us);
     }

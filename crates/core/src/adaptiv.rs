@@ -58,7 +58,8 @@ impl AdaptivParams {
 
     /// The largest exponent value reachable: `exp_bias + 2^e − 1`.
     pub fn exp_max(&self) -> i32 {
-        self.exp_bias + ((1i32 << self.e) - 1)
+        // Shift in u64: `1i32 << 31` would overflow for e = 31 (n = 32).
+        self.exp_bias + ((1u64 << self.e) - 1) as i32
     }
 
     /// Minimum representable non-zero magnitude,
@@ -94,7 +95,7 @@ impl AdaptivFloat {
     /// assert!(AdaptivFloat::new(4, 4).is_err()); // no room for the sign bit
     /// ```
     pub fn new(n: u32, e: u32) -> Result<Self, FormatError> {
-        if n < 2 || n > 32 {
+        if !(2..=32).contains(&n) {
             return Err(FormatError::InvalidBits {
                 n,
                 e,
@@ -154,7 +155,8 @@ impl AdaptivFloat {
         AdaptivParams {
             n: self.n,
             e: self.e,
-            exp_bias: exp_max - ((1i32 << self.e) - 1),
+            // Shift in u64: `1i32 << 31` would overflow for e = 31.
+            exp_bias: exp_max - ((1u64 << self.e) - 1) as i32,
         }
     }
 
@@ -212,6 +214,33 @@ impl AdaptivFloat {
         (sign * exp2(exp) * q) as f32
     }
 
+    /// Quantize a slice under fixed parameters, using the bit-twiddled
+    /// fast kernel when the grid fits the normal-f32 envelope (all paper
+    /// configurations do) and the f64 reference otherwise. Bit-identical
+    /// to mapping [`quantize_with`](Self::quantize_with).
+    pub fn quantize_slice_with_params(&self, params: &AdaptivParams, data: &[f32]) -> Vec<f32> {
+        match crate::kernels::FastQuantizer::new(self, params) {
+            Some(fast) => {
+                let mut out = vec![0.0f32; data.len()];
+                crate::par::par_zip_into(data, &mut out, |src, dst| fast.quantize_into(src, dst));
+                out
+            }
+            None => crate::par::par_map_slice(data, |v| self.quantize_with(params, v)),
+        }
+    }
+
+    /// Quantize a whole slice through the scalar f64 reference path
+    /// ([`params_for`](Self::params_for) + [`quantize_with`](Self::quantize_with)),
+    /// bypassing the fast kernel. This is the oracle the property tests
+    /// check the bit-twiddled path against; production callers should use
+    /// [`NumberFormat::quantize_slice`].
+    pub fn quantize_slice_reference(&self, data: &[f32]) -> Vec<f32> {
+        let params = self.params_for(data);
+        data.iter()
+            .map(|&v| self.quantize_with(&params, v))
+            .collect()
+    }
+
     /// Encode a value to its `n`-bit pattern under fixed parameters.
     /// The value is quantized first, so any finite `f32` is accepted.
     ///
@@ -244,7 +273,8 @@ impl AdaptivFloat {
         let m = params.mantissa_bits();
         let sign_bit = (bits >> (self.n - 1)) & 1;
         let exp_field = (bits >> m) & ((1 << self.e) - 1);
-        let mant_field = bits & ((1u32 << m) - 1).max(0);
+        // m = 0 is fine: (1 << 0) - 1 = 0 masks the (absent) field away.
+        let mant_field = bits & ((1u32 << m) - 1);
         if exp_field == 0 && mant_field == 0 {
             return 0.0;
         }
@@ -302,10 +332,8 @@ impl NumberFormat for AdaptivFloat {
     }
 
     fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        let params = self.params_for(data);
-        data.iter()
-            .map(|&v| self.quantize_with(&params, v))
-            .collect()
+        let params = crate::kernels::params_from_bits_scan(self, data);
+        self.quantize_slice_with_params(&params, data)
     }
 
     fn is_adaptive(&self) -> bool {
@@ -314,9 +342,7 @@ impl NumberFormat for AdaptivFloat {
 
     fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
         let params = self.params_for(&[max_abs]);
-        data.iter()
-            .map(|&v| self.quantize_with(&params, v))
-            .collect()
+        self.quantize_slice_with_params(&params, data)
     }
 }
 
@@ -491,7 +517,7 @@ mod tests {
     fn mantissa_carry_does_not_exceed_value_max() {
         let fmt = af(4, 2);
         let params = fmt.params_with_bias(-2); // top point 3.0, vmax 3.0
-        // 2.9 has mantissa 1.45 at exp 1 → rounds to 1.5 → 3.0. Fine.
+                                               // 2.9 has mantissa 1.45 at exp 1 → rounds to 1.5 → 3.0. Fine.
         assert_eq!(fmt.quantize_with(&params, 2.9), 3.0);
         // 2.99 is below vmax but its mantissa would not carry past exp_max
         // (values ≥ vmax were already clamped); ensure no value above vmax
@@ -512,10 +538,7 @@ mod tests {
         let grid = fmt.representable_values(&params);
         for &v in &data {
             let q = fmt.quantize_with(&params, v);
-            assert!(
-                grid.iter().any(|&g| g == q),
-                "{q} (from {v}) not on the grid"
-            );
+            assert!(grid.contains(&q), "{q} (from {v}) not on the grid");
         }
     }
 

@@ -91,31 +91,59 @@ impl BlockFloat {
         }
     }
 
+    /// Quantize one element against a fixed shared exponent.
+    fn quantize_one_at(&self, e: i32, v: f32) -> f32 {
+        if v.is_nan() {
+            return 0.0;
+        }
+        let scale = exp2(e - self.n as i32 + 3);
+        let mant_max = (1i64 << (self.n - 2)) - 1;
+        let q = ((v as f64) / scale).round() as i64;
+        (q.clamp(-mant_max, mant_max) as f64 * scale) as f32
+    }
+
     /// Quantize one block in place.
     fn quantize_block(&self, block: &mut [f32]) {
-        let max_abs = block
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        let max_abs = f32::from_bits(crate::kernels::max_abs_bits(block));
         if max_abs == 0.0 {
             block.iter_mut().for_each(|v| *v = 0.0);
             return;
         }
         let e = Self::shared_exponent(max_abs);
+        self.quantize_block_at(e, block);
+    }
+
+    /// Quantize a block in place against a fixed shared exponent.
+    fn quantize_block_at(&self, e: i32, block: &mut [f32]) {
+        use crate::lut::{self, LutKey};
+        if self.n <= lut::MAX_LUT_BITS && block.len() >= lut::MIN_LUT_LEN {
+            // Shared exponents take few distinct values across blocks and
+            // tensors, so the per-exponent codebooks are reused heavily.
+            let table = lut::cached(LutKey::Bfp { n: self.n, exp: e }, |v| {
+                self.quantize_one_at(e, v)
+            });
+            crate::par::par_apply(block, |chunk| {
+                for v in chunk.iter_mut() {
+                    *v = table.quantize_one(*v);
+                }
+            });
+            return;
+        }
         // Mantissa grid: signed (n−1)-bit integers at scale 2^(E − n + 3),
         // so the top magnitude 2^(E+1) maps to the extreme mantissa.
         let scale = exp2(e - self.n as i32 + 3);
         let mant_max = (1i64 << (self.n - 2)) - 1;
-        for v in block.iter_mut() {
-            if v.is_nan() {
-                *v = 0.0;
-                continue;
+        crate::par::par_apply(block, |chunk| {
+            for v in chunk.iter_mut() {
+                if v.is_nan() {
+                    *v = 0.0;
+                    continue;
+                }
+                let q = ((*v as f64) / scale).round() as i64;
+                let q = q.clamp(-mant_max, mant_max);
+                *v = (q as f64 * scale) as f32;
             }
-            let q = ((*v as f64) / scale).round() as i64;
-            let q = q.clamp(-mant_max, mant_max);
-            *v = (q as f64 * scale) as f32;
-        }
+        });
     }
 
     /// Quantize, also returning the shared exponent of each block (what a
@@ -162,17 +190,9 @@ impl NumberFormat for BlockFloat {
             return vec![0.0; data.len()];
         }
         let e = Self::shared_exponent(max_abs);
-        let scale = exp2(e - self.n as i32 + 3);
-        let mant_max = (1i64 << (self.n - 2)) - 1;
-        data.iter()
-            .map(|&v| {
-                if v.is_nan() {
-                    return 0.0;
-                }
-                let q = ((v as f64) / scale).round() as i64;
-                (q.clamp(-mant_max, mant_max) as f64 * scale) as f32
-            })
-            .collect()
+        let mut out = data.to_vec();
+        self.quantize_block_at(e, &mut out);
+        out
     }
 }
 
@@ -227,7 +247,7 @@ mod tests {
         // Two populations of very different magnitude: a per-row shared
         // exponent renders the small block far better.
         let mut data = vec![50.0f32; 8];
-        data.extend(std::iter::repeat(0.05f32).take(8));
+        data.extend(std::iter::repeat_n(0.05f32, 8));
         let per_tensor = BlockFloat::new(8).unwrap().quantize_slice(&data);
         let per_block = BlockFloat::with_block_size(8, 8)
             .unwrap()

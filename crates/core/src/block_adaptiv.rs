@@ -114,7 +114,7 @@ mod tests {
     fn per_block_never_worse_much_and_better_on_multiscale() {
         // Two populations at very different scales, interleaved in blocks.
         let mut data = vec![0.01f32; 128];
-        data.extend(std::iter::repeat(5.0f32).take(128));
+        data.extend(std::iter::repeat_n(5.0f32, 128));
         let per_layer = AdaptivFloat::new(6, 3).unwrap();
         let per_block = BlockAdaptivFloat::new(6, 3, 128).unwrap();
         let e_layer = rms_error(&data, &per_layer.quantize_slice(&data));

@@ -99,7 +99,18 @@ impl NumberFormat for FixedPoint {
     }
 
     fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        data.iter().map(|&v| self.quantize_value(v)).collect()
+        use crate::lut::{self, LutKey};
+        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
+            return lut::cached(
+                LutKey::Fixed {
+                    n: self.n,
+                    int_bits: self.int_bits,
+                },
+                |v| self.quantize_value(v),
+            )
+            .quantize_slice(data);
+        }
+        crate::par::par_map_slice(data, |v| self.quantize_value(v))
     }
 
     fn is_adaptive(&self) -> bool {

@@ -38,7 +38,7 @@ impl IeeeLikeFloat {
     /// Returns [`FormatError::InvalidBits`] unless `1 ≤ e ≤ n − 1` and
     /// `2 ≤ n ≤ 32`.
     pub fn new(n: u32, e: u32) -> Result<Self, FormatError> {
-        if n < 2 || n > 32 {
+        if !(2..=32).contains(&n) {
             return Err(FormatError::InvalidBits {
                 n,
                 e,
@@ -193,7 +193,20 @@ impl NumberFormat for IeeeLikeFloat {
     }
 
     fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        data.iter().map(|&v| self.quantize_value(v)).collect()
+        use crate::lut::{self, LutKey};
+        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
+            // The grid is static per geometry: compile the scalar
+            // quantizer to a codebook once and reuse it process-wide.
+            return lut::cached(
+                LutKey::Ieee {
+                    n: self.n,
+                    e: self.e,
+                },
+                |v| self.quantize_value(v),
+            )
+            .quantize_slice(data);
+        }
+        crate::par::par_map_slice(data, |v| self.quantize_value(v))
     }
 
     fn is_adaptive(&self) -> bool {

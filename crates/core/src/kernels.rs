@@ -1,0 +1,330 @@
+//! Fast integer-domain AdaptivFloat quantization kernels.
+//!
+//! [`AdaptivFloat::quantize_with`] is the paper-faithful f64 reference:
+//! readable, obviously correct, and slow (per element it computes
+//! `floor_log2`, two `exp2`, a division, and a round in f64). This module
+//! reimplements the same function directly on `f32::to_bits()` patterns:
+//!
+//! * the three magnitude regions (underflow to zero, promote to
+//!   `value_min`, clamp to `value_max`) become unsigned comparisons
+//!   against **precomputed threshold bit patterns** — for an exact f64
+//!   threshold `X`, the smallest `f32` `t` with `t ≥ X` satisfies
+//!   `a ≥ X ⟺ a.to_bits() ≥ t.to_bits()` for every non-negative finite
+//!   `a` (positive f32 bit patterns order identically to their values,
+//!   subnormals included);
+//! * mantissa rounding at scale `2^−m` becomes an add-and-shift on the
+//!   24-bit significand: with `shift = 23 − m`, the reference's
+//!   `(mant · 2^m).round()` equals `(sig + (1 << (shift−1))) >> shift`
+//!   because `mant · 2^m = sig / 2^shift` is exact in f64 and `.round()`
+//!   is round-half-away-from-zero, which on non-negative values is
+//!   round-half-up — exactly what the biased shift computes;
+//! * the result is assembled straight into an `f32` bit pattern (the
+//!   quantized value has at most `m + 1 ≤ 24` significand bits and a
+//!   normal exponent, so the construction is exact).
+//!
+//! The fast path covers every format whose grid lives inside the normal
+//! f32 range (`m ≤ 23`, `exp_bias ≥ −126`, `exp_max ≤ 127`) — in
+//! particular all paper configurations. [`FastQuantizer::new`] returns
+//! `None` outside that envelope and callers fall back to the reference.
+//! Bit-exactness against the reference is enforced by the property tests
+//! in `tests/kernel_bitexact.rs`.
+
+use crate::adaptiv::{AdaptivFloat, AdaptivParams};
+
+/// Bit mask of the f32 exponent field (also the +∞ pattern).
+const EXP_MASK: u32 = 0x7f80_0000;
+/// Bit mask of the f32 mantissa field.
+const MANT_MASK: u32 = 0x007f_ffff;
+/// Bit mask selecting the magnitude (everything but the sign).
+const ABS_MASK: u32 = 0x7fff_ffff;
+/// Bit mask of the sign.
+const SIGN_MASK: u32 = 0x8000_0000;
+
+/// The bit pattern of the smallest `f32` whose value is `≥ x`.
+///
+/// `x` must be positive and at most `f32::MAX` (as f64). The returned
+/// pattern `t` satisfies, for every non-negative finite `f32` value `a`:
+/// `(a as f64) >= x ⟺ a.to_bits() >= t`.
+fn threshold_bits(x: f64) -> u32 {
+    debug_assert!(x > 0.0 && x <= f32::MAX as f64);
+    // `as f32` rounds to nearest; nudge up one ulp if it rounded down.
+    let t = x as f32;
+    if (t as f64) >= x {
+        t.to_bits()
+    } else {
+        t.to_bits() + 1
+    }
+}
+
+/// Maximum finite magnitude of `data` as a non-negative f32 bit pattern
+/// (`0` when the slice is empty, all zero, or all non-finite).
+///
+/// Because non-negative f32 bit patterns order identically to their
+/// values, the max-abs reduction runs entirely on integers: mask the
+/// sign, skip NaN/∞, take the integer maximum.
+pub fn max_abs_bits(data: &[f32]) -> u32 {
+    let mut max = 0u32;
+    for &v in data {
+        let abs = v.to_bits() & ABS_MASK;
+        if abs < EXP_MASK && abs > max {
+            max = abs;
+        }
+    }
+    max
+}
+
+/// `floor(log2(value))` of the f32 whose magnitude bit pattern is
+/// `abs_bits` (must be non-zero and finite).
+///
+/// Matches `util::floor_log2(value as f64)` exactly: a normal number's
+/// floor-log2 is its unbiased exponent; a subnormal's comes from the
+/// position of its leading mantissa bit.
+pub fn floor_log2_bits(abs_bits: u32) -> i32 {
+    debug_assert!(abs_bits != 0 && abs_bits < EXP_MASK);
+    let biased = (abs_bits >> 23) as i32;
+    if biased != 0 {
+        biased - 127
+    } else {
+        // value = frac · 2^−149 with frac ∈ [1, 2^23).
+        let frac = abs_bits & MANT_MASK;
+        (31 - frac.leading_zeros() as i32) - 149
+    }
+}
+
+/// A prepared single-format, single-tensor quantizer: all thresholds and
+/// shift amounts derived once, so the per-element work is a handful of
+/// integer compares, an add, and two shifts.
+#[derive(Debug, Clone, Copy)]
+pub struct FastQuantizer {
+    /// Patterns below this (incl. ±0) quantize to +0.0: `vmin / 2`.
+    t_half_min: u32,
+    /// Patterns below this (but ≥ `t_half_min`) promote to `±value_min`.
+    t_min: u32,
+    /// Patterns at or above this clamp to `±value_max`.
+    t_max: u32,
+    /// `value_min` as f32 bits (positive).
+    vmin_bits: u32,
+    /// `value_max` as f32 bits (positive).
+    vmax_bits: u32,
+    /// Significand right-shift, `23 − m`.
+    shift: u32,
+    /// Rounding increment, `2^(shift−1)` (0 when `shift == 0`).
+    round: u32,
+    /// `2^(m+1)` in significand units — the carry sentinel.
+    carry_at: u32,
+    /// `2^m` in significand units — the post-carry significand.
+    carry_to: u32,
+}
+
+impl FastQuantizer {
+    /// Prepare the fast path for one `(format, params)` pair, or `None`
+    /// when the grid leaves the normal-f32 envelope (callers then use the
+    /// f64 reference, [`AdaptivFloat::quantize_with`]).
+    pub fn new(fmt: &AdaptivFloat, params: &AdaptivParams) -> Option<Self> {
+        debug_assert_eq!((params.n, params.e), (fmt.n(), fmt.e()));
+        let m = params.mantissa_bits();
+        if m > 23 || params.exp_bias < -126 || params.exp_max() > 127 {
+            return None;
+        }
+        let vmin = params.value_min();
+        let vmax = params.value_max();
+        let shift = 23 - m;
+        Some(FastQuantizer {
+            t_half_min: threshold_bits(vmin * 0.5),
+            t_min: threshold_bits(vmin),
+            t_max: threshold_bits(vmax),
+            // Both are exact: ≤ m+1 significand bits, normal exponent.
+            vmin_bits: (vmin as f32).to_bits(),
+            vmax_bits: (vmax as f32).to_bits(),
+            shift,
+            round: if shift == 0 { 0 } else { 1 << (shift - 1) },
+            carry_at: 1 << (m + 1),
+            carry_to: 1 << m,
+        })
+    }
+
+    /// Quantize one value. Bit-identical to the reference
+    /// [`AdaptivFloat::quantize_with`] under the same parameters.
+    #[inline]
+    pub fn quantize_one(&self, v: f32) -> f32 {
+        let bits = v.to_bits();
+        let abs = bits & ABS_MASK;
+        let sign = bits & SIGN_MASK;
+        if abs < self.t_half_min {
+            // Below vmin/2 (including ±0): underflow to +0.0, sign
+            // dropped, exactly as the reference does.
+            return 0.0;
+        }
+        if abs >= self.t_max {
+            if abs > EXP_MASK {
+                return 0.0; // NaN
+            }
+            return f32::from_bits(sign | self.vmax_bits); // clamp (∞ too)
+        }
+        if abs < self.t_min {
+            return f32::from_bits(sign | self.vmin_bits);
+        }
+        // Main path: abs is a normal number in [vmin, vmax).
+        let mut exp = (abs >> 23) as i32 - 127;
+        let sig = (abs & MANT_MASK) | (1 << 23);
+        let mut q = (sig + self.round) >> self.shift;
+        if q == self.carry_at {
+            // Mantissa rounded up to 2.0: carry into the exponent. This
+            // cannot push past exp_max — values that would land there sit
+            // in [vmax, ∞) and were clamped above.
+            exp += 1;
+            q = self.carry_to;
+        }
+        f32::from_bits(sign | (((exp + 127) as u32) << 23) | ((q - self.carry_to) << self.shift))
+    }
+
+    /// Quantize `src` into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn quantize_into(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = self.quantize_one(s);
+        }
+    }
+}
+
+/// Derive per-tensor parameters with a single integer max-abs scan.
+/// Equal to [`AdaptivFloat::params_for`] on every input.
+pub fn params_from_bits_scan(fmt: &AdaptivFloat, data: &[f32]) -> AdaptivParams {
+    let max = max_abs_bits(data);
+    let exp_max = if max == 0 { 0 } else { floor_log2_bits(max) };
+    fmt.params_with_exp_max(exp_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn af(n: u32, e: u32) -> AdaptivFloat {
+        AdaptivFloat::new(n, e).unwrap()
+    }
+
+    #[test]
+    fn threshold_bits_is_exact_boundary() {
+        for x in [0.375f64, 1.0, 3.0, 1e-40, 0.1, f32::MAX as f64] {
+            let t = threshold_bits(x);
+            let below = f32::from_bits(t.saturating_sub(1));
+            let at = f32::from_bits(t);
+            assert!((at as f64) >= x, "x={x}");
+            if t > 0 {
+                assert!((below as f64) < x, "x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_bits_matches_reference_fold() {
+        let data = [
+            0.0f32,
+            -0.0,
+            1.5,
+            -2.25,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -1e-40,
+            3.7e37,
+        ];
+        let reference = data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        assert_eq!(max_abs_bits(&data), reference.to_bits());
+        assert_eq!(max_abs_bits(&[]), 0);
+        assert_eq!(max_abs_bits(&[f32::NAN]), 0);
+    }
+
+    #[test]
+    fn floor_log2_bits_matches_util() {
+        for v in [1.0f32, 1.5, 2.0, 0.5, 0.37, 1e-38, 1e-44, 3e38, 2.89] {
+            assert_eq!(
+                floor_log2_bits(v.to_bits()),
+                crate::util::floor_log2(v as f64),
+                "v={v}"
+            );
+        }
+        assert_eq!(floor_log2_bits(1), -149); // smallest subnormal
+    }
+
+    #[test]
+    fn params_from_bits_scan_matches_params_for() {
+        let fmt = af(8, 3);
+        let cases: [&[f32]; 5] = [
+            &[],
+            &[0.0, -0.0],
+            &[0.1, -0.9, 0.5],
+            &[20.0, -3.0],
+            &[f32::NAN, f32::INFINITY, 8.0],
+        ];
+        for data in cases {
+            assert_eq!(params_from_bits_scan(&fmt, data), fmt.params_for(data));
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_on_dense_sweep() {
+        for (n, e) in [(4, 2), (6, 3), (8, 3), (8, 4), (4, 3), (16, 5)] {
+            let fmt = af(n, e);
+            for bias in [-7i32, -2, 0, 3] {
+                let params = fmt.params_with_bias(bias);
+                let fast = FastQuantizer::new(&fmt, &params).expect("in envelope");
+                let mut x = -40.0f32;
+                while x < 40.0 {
+                    let want = fmt.quantize_with(&params, x);
+                    let got = fast.quantize_one(x);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "n={n} e={e} bias={bias} x={x}: {got} vs {want}"
+                    );
+                    x += 0.0173;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_reference_on_specials() {
+        let fmt = af(8, 3);
+        let params = fmt.params_with_bias(-7);
+        let fast = FastQuantizer::new(&fmt, &params).unwrap();
+        for v in [
+            0.0f32,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::from_bits(1),
+            f32::MAX,
+            f32::MIN,
+        ] {
+            let want = fmt.quantize_with(&params, v);
+            let got = fast.quantize_one(v);
+            assert_eq!(got.to_bits(), want.to_bits(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn envelope_gate_rejects_out_of_range_grids() {
+        // m = 27 > 23.
+        let wide = af(32, 4);
+        assert!(FastQuantizer::new(&wide, &wide.params_with_bias(-3)).is_none());
+        // exp_bias below the normal-f32 floor.
+        let fmt = af(8, 3);
+        assert!(FastQuantizer::new(&fmt, &fmt.params_with_bias(-127)).is_none());
+        // exp_max above 127.
+        assert!(FastQuantizer::new(&fmt, &fmt.params_with_bias(121)).is_none());
+        assert!(FastQuantizer::new(&fmt, &fmt.params_with_bias(120)).is_some());
+    }
+}

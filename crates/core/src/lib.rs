@@ -47,8 +47,11 @@ pub mod error;
 pub mod fixed;
 pub mod format;
 pub mod ieee_like;
+pub mod kernels;
+pub mod lut;
 pub mod metrics;
 pub mod pack;
+pub mod par;
 pub mod posit;
 pub mod search;
 pub mod stats;

@@ -1,0 +1,285 @@
+//! Precomputed codebook (LUT) quantizers for the enumerable formats.
+//!
+//! Every non-adaptive-per-element format at `n ≤ 8` bits maps an input
+//! `f32` onto one of at most `2^n` output values through a **monotone
+//! piecewise-constant** function (round-to-nearest onto a fixed grid,
+//! plus saturation). That structure lets the whole scalar quantizer —
+//! however expensive (`floor_log2`, `exp2`, f64 division, posit table
+//! walks) — be compiled once into a sorted threshold table over the f32
+//! *bit space* and then answered per element with one short binary
+//! search over ≤ 255 thresholds.
+//!
+//! Exactness is guaranteed **by construction**: the thresholds are found
+//! by bisecting the analytic scalar function itself over the bit patterns
+//! of one sign half-axis (positive f32 bit patterns order identically to
+//! their values, so a monotone quantizer that agrees at both ends of a
+//! bit interval is constant across it). Zero-sign subtleties — e.g.
+//! `FixedPoint` and `IeeeLikeFloat` crush tiny negatives to `-0.0` while
+//! `Uniform` and `BlockFloat` produce `+0.0` — are captured automatically
+//! because the axes are probed per sign and compared bit-for-bit.
+//!
+//! Tables are cached in a bounded process-wide cache keyed by format
+//! geometry (plus the derived scale for `Uniform` / the shared exponent
+//! for `BlockFloat`), so repeated per-tensor calls pay the build cost
+//! once. The property tests in `tests/lut_matches_analytic.rs` verify
+//! bit-exactness against the scalar paths for every format.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bit pattern of +∞ (and the f32 exponent mask).
+const INF_BITS: u32 = 0x7f80_0000;
+/// Magnitude mask (everything but the sign bit).
+const ABS_MASK: u32 = 0x7fff_ffff;
+
+/// Slices shorter than this skip the LUT: the per-call cache lookup
+/// costs more than a handful of scalar quantizations.
+pub const MIN_LUT_LEN: usize = 32;
+
+/// Largest word size the LUT path covers (`2^8` levels per sign).
+pub const MAX_LUT_BITS: u32 = 8;
+
+/// Maximum number of cached tables; the cache is emptied when full
+/// (distinct keys come from format geometry and per-tensor scales, so
+/// steady-state workloads stay far below the cap).
+const CACHE_CAP: usize = 256;
+
+/// One sign half-axis: `values[i]` is the output (as f32 bits) for every
+/// input magnitude in `[thresholds[i-1], thresholds[i])` (bit-space),
+/// with `thresholds[-1] = 0` and `thresholds[len] = ∞`.
+#[derive(Debug)]
+struct Axis {
+    thresholds: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl Axis {
+    /// Build by bisecting `f` (input-magnitude bits → output bits) over
+    /// `[0, INF_BITS]`. `f` must be monotone in the input *value*; the
+    /// interval `[lo, hi]` is taken as constant whenever
+    /// `f(lo) == f(hi)`, which monotonicity guarantees.
+    fn build(f: &dyn Fn(u32) -> u32) -> Axis {
+        let f_zero = f(0);
+        let f_inf = f(INF_BITS);
+        // (first input bits of a new level, that level's output bits)
+        let mut switches: Vec<(u32, u32)> = Vec::new();
+        let mut stack = vec![(0u32, INF_BITS, f_zero, f_inf)];
+        while let Some((lo, hi, flo, fhi)) = stack.pop() {
+            if flo == fhi {
+                continue;
+            }
+            if lo + 1 == hi {
+                switches.push((hi, fhi));
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let fmid = f(mid);
+            stack.push((lo, mid, flo, fmid));
+            stack.push((mid, hi, fmid, fhi));
+        }
+        switches.sort_unstable();
+        let mut thresholds = Vec::with_capacity(switches.len());
+        let mut values = Vec::with_capacity(switches.len() + 1);
+        values.push(f_zero);
+        for (t, v) in switches {
+            thresholds.push(t);
+            values.push(v);
+        }
+        Axis { thresholds, values }
+    }
+
+    /// Output bits for input-magnitude bits `abs` (`abs ≤ INF_BITS`).
+    #[inline]
+    fn lookup(&self, abs: u32) -> u32 {
+        let idx = self.thresholds.partition_point(|&t| t <= abs);
+        self.values[idx]
+    }
+}
+
+/// A compiled codebook quantizer: bit-identical to the scalar function it
+/// was built from, at a flat per-element cost.
+#[derive(Debug)]
+pub struct LutQuantizer {
+    pos: Axis,
+    neg: Axis,
+    nan_pos: u32,
+    nan_neg: u32,
+}
+
+impl LutQuantizer {
+    /// Compile `quantize` (any monotone scalar quantizer) into a
+    /// codebook. The closure is probed a few thousand times.
+    pub fn build(quantize: impl Fn(f32) -> f32) -> LutQuantizer {
+        let pos = Axis::build(&|abs| quantize(f32::from_bits(abs)).to_bits());
+        let neg = Axis::build(&|abs| quantize(f32::from_bits(abs | !ABS_MASK)).to_bits());
+        LutQuantizer {
+            pos,
+            neg,
+            nan_pos: quantize(f32::from_bits(0x7fc0_0000)).to_bits(),
+            nan_neg: quantize(f32::from_bits(0xffc0_0000)).to_bits(),
+        }
+    }
+
+    /// Quantize one value through the codebook.
+    #[inline]
+    pub fn quantize_one(&self, v: f32) -> f32 {
+        let bits = v.to_bits();
+        let abs = bits & ABS_MASK;
+        let negative = bits >> 31 == 1;
+        if abs > INF_BITS {
+            return f32::from_bits(if negative { self.nan_neg } else { self.nan_pos });
+        }
+        let axis = if negative { &self.neg } else { &self.pos };
+        f32::from_bits(axis.lookup(abs))
+    }
+
+    /// Quantize `src` into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn quantize_into(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = self.quantize_one(s);
+        }
+    }
+
+    /// Quantize a slice into a fresh vector (parallel for large slices).
+    pub fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; data.len()];
+        crate::par::par_zip_into(data, &mut out, |src, dst| self.quantize_into(src, dst));
+        out
+    }
+
+    /// Number of distinct output levels over both sign axes (diagnostic).
+    pub fn levels(&self) -> usize {
+        self.pos.values.len() + self.neg.values.len()
+    }
+}
+
+/// Cache key: format geometry plus any per-tensor scaling parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutKey {
+    /// `IeeeLikeFloat<n, e>` — static grid.
+    Ieee {
+        /// Word size.
+        n: u32,
+        /// Exponent bits.
+        e: u32,
+    },
+    /// `Posit<n, es>` — static grid.
+    Posit {
+        /// Word size.
+        n: u32,
+        /// Exponent field width.
+        es: u32,
+    },
+    /// `FixedPoint` Qi.f — static grid.
+    Fixed {
+        /// Word size.
+        n: u32,
+        /// Integer bits.
+        int_bits: u32,
+    },
+    /// `Uniform<n>` at one derived scale.
+    Uniform {
+        /// Word size.
+        n: u32,
+        /// `scale.to_bits()` of the per-tensor f64 scale.
+        scale_bits: u64,
+    },
+    /// `BlockFloat<n>` at one shared exponent.
+    Bfp {
+        /// Word size.
+        n: u32,
+        /// The block's shared exponent.
+        exp: i32,
+    },
+}
+
+fn cache() -> &'static Mutex<HashMap<LutKey, Arc<LutQuantizer>>> {
+    static CACHE: OnceLock<Mutex<HashMap<LutKey, Arc<LutQuantizer>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetch the codebook for `key`, building it with `quantize` on a miss.
+/// The cache is process-wide and bounded (emptied at [`CACHE_CAP`]).
+pub fn cached(key: LutKey, quantize: impl Fn(f32) -> f32) -> Arc<LutQuantizer> {
+    let mut map = cache().lock().expect("lut cache poisoned");
+    if let Some(hit) = map.get(&key) {
+        return Arc::clone(hit);
+    }
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    let built = Arc::new(LutQuantizer::build(quantize));
+    map.insert(key, Arc::clone(&built));
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_a_step_function_exactly() {
+        // A toy monotone quantizer: round to integers, clamp at ±3.
+        let q = |v: f32| {
+            if v.is_nan() {
+                0.0
+            } else {
+                (v as f64).round().clamp(-3.0, 3.0) as f32
+            }
+        };
+        let lut = LutQuantizer::build(q);
+        let mut x = -10.0f32;
+        while x < 10.0 {
+            assert_eq!(lut.quantize_one(x).to_bits(), q(x).to_bits(), "x={x}");
+            x += 0.01;
+        }
+        for v in [
+            0.0f32,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            f32::from_bits(1),
+        ] {
+            assert_eq!(lut.quantize_one(v).to_bits(), q(v).to_bits(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn preserves_zero_sign_behavior() {
+        // A quantizer that keeps −0.0 for negative underflow.
+        let q = |v: f32| {
+            if v.is_nan() {
+                return 0.0;
+            }
+            let r = ((v as f64) * 4.0).round() / 4.0;
+            r.clamp(-2.0, 2.0) as f32
+        };
+        assert_eq!(q(-0.1).to_bits(), (-0.0f32).to_bits());
+        let lut = LutQuantizer::build(q);
+        assert_eq!(lut.quantize_one(-0.1).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(lut.quantize_one(0.1).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn cache_hits_and_bound() {
+        let a = cached(LutKey::Fixed { n: 6, int_bits: 2 }, |v| {
+            if v.is_nan() {
+                0.0
+            } else {
+                (v as f64).round().clamp(-2.0, 2.0) as f32
+            }
+        });
+        let b = cached(LutKey::Fixed { n: 6, int_bits: 2 }, |_| {
+            unreachable!("second call must hit the cache")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -29,7 +29,7 @@ impl BitPacker {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
         BitPacker {
             width,
             len: 0,
@@ -130,7 +130,9 @@ mod tests {
             } else {
                 (1u64 << width) - 1
             };
-            let codes: Vec<u64> = (0..200u64).map(|i| (i.wrapping_mul(0x9E3779B9)) & mask).collect();
+            let codes: Vec<u64> = (0..200u64)
+                .map(|i| (i.wrapping_mul(0x9E3779B9)) & mask)
+                .collect();
             p.extend(codes.iter().copied());
             for (i, &c) in codes.iter().enumerate() {
                 assert_eq!(p.get(i), c, "width={width} index={i}");

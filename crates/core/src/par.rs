@@ -1,0 +1,254 @@
+//! A minimal scoped-thread parallel runtime (no dependencies).
+//!
+//! The heavy loops in this workspace — slice quantization, matmul,
+//! im2col — are all embarrassingly parallel over disjoint output ranges.
+//! Rather than pull in a thread-pool crate, this module fans such loops
+//! out over [`std::thread::scope`]: threads are spawned per call and
+//! joined before returning, so borrowed (non-`'static`) data flows in
+//! freely and no global executor state exists.
+//!
+//! Thread count comes from [`std::thread::available_parallelism`], and can
+//! be pinned with the `AF_NUM_THREADS` environment variable (read once per
+//! process; `AF_NUM_THREADS=1` forces every helper serial). Because each
+//! call pays real thread-spawn cost (tens of microseconds), callers gate
+//! on [`parallelism_worthwhile`] — below the cutoff the serial loop is
+//! both simpler and faster.
+
+use std::sync::OnceLock;
+
+/// Minimum number of per-element operations before fanning out threads
+/// is worth the spawn cost (see [`parallelism_worthwhile`]).
+pub const PAR_MIN_LEN: usize = 1 << 15;
+
+/// The number of worker threads parallel helpers fan out to.
+///
+/// `AF_NUM_THREADS` (if set to a positive integer) wins; otherwise
+/// [`std::thread::available_parallelism`], defaulting to 1 if even that
+/// is unavailable. Cached after the first call.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("AF_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Whether a loop of `len` roughly-uniform element operations should be
+/// fanned out: `len ≥ PAR_MIN_LEN` and more than one thread available.
+pub fn parallelism_worthwhile(len: usize) -> bool {
+    len >= PAR_MIN_LEN && num_threads() > 1
+}
+
+/// Call `f(chunk_index, chunk)` for every `chunk_len`-sized chunk of
+/// `data` (last chunk may be shorter), fanning the chunks out across
+/// [`num_threads`] scoped threads. Chunk indices match
+/// `data.chunks_mut(chunk_len).enumerate()`; each chunk is processed
+/// exactly once, in unspecified order.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`. A panic inside `f` propagates.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let threads = num_threads();
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if threads == 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Deal chunks round-robin into one work list per thread; round-robin
+    // balances systematic cost gradients (e.g. triangular workloads).
+    let buckets = threads.min(n_chunks);
+    let mut work: Vec<Vec<(usize, &mut [T])>> = (0..buckets).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        work[i % buckets].push((i, chunk));
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut first = None;
+        for (t, bucket) in work.into_iter().enumerate() {
+            if t == 0 {
+                first = Some(bucket); // run on the calling thread
+            } else {
+                scope.spawn(move || {
+                    for (i, chunk) in bucket {
+                        f(i, chunk);
+                    }
+                });
+            }
+        }
+        for (i, chunk) in first.expect("at least one bucket") {
+            f(i, chunk);
+        }
+    });
+}
+
+/// Fill `dst` from equal-length `src` chunk-by-chunk in parallel:
+/// `f(src_chunk, dst_chunk)` runs once per corresponding chunk pair.
+/// Falls back to a single serial call when the work is too small
+/// ([`parallelism_worthwhile`]).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths. A panic inside `f`
+/// propagates.
+pub fn par_zip_into<T, U, F>(src: &[T], dst: &mut [U], f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T], &mut [U]) + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if !parallelism_worthwhile(src.len()) {
+        f(src, dst);
+        return;
+    }
+    let chunk_len = src.len().div_ceil(num_threads()).max(1);
+    par_chunks_mut(dst, chunk_len, |i, dst_chunk| {
+        let start = i * chunk_len;
+        f(&src[start..start + dst_chunk.len()], dst_chunk);
+    });
+}
+
+/// Apply `f` to `data` in place, splitting into one chunk per thread
+/// when the slice is big enough ([`parallelism_worthwhile`]); otherwise
+/// one serial call over the whole slice.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates.
+pub fn par_apply<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    if !parallelism_worthwhile(data.len()) {
+        f(data);
+        return;
+    }
+    let chunk_len = data.len().div_ceil(num_threads()).max(1);
+    par_chunks_mut(data, chunk_len, |_, chunk| f(chunk));
+}
+
+/// Map a scalar function over a slice into a fresh vector, in parallel
+/// for large slices. The convenience form of [`par_zip_into`] every
+/// format's element-wise quantizer uses.
+pub fn par_map_slice<F>(data: &[f32], f: F) -> Vec<f32>
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let mut out = vec![0.0f32; data.len()];
+    par_zip_into(data, &mut out, |src, dst| {
+        for (o, &v) in dst.iter_mut().zip(src) {
+            *o = f(v);
+        }
+    });
+    out
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+/// Serial (in order `a` then `b`) when only one thread is available.
+///
+/// # Panics
+///
+/// A panic inside either closure propagates.
+pub fn par_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if num_threads() == 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("parallel closure panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut data = vec![0u32; 100_001];
+        par_chunks_mut(&mut data, 997, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (j / 997) as u32, "element {j}");
+        }
+    }
+
+    #[test]
+    fn zip_matches_serial_map() {
+        let src: Vec<f32> = (0..(PAR_MIN_LEN + 7)).map(|i| i as f32 * 0.5).collect();
+        let mut dst = vec![0.0f32; src.len()];
+        par_zip_into(&src, &mut dst, |s, d| {
+            for (o, &x) in d.iter_mut().zip(s) {
+                *o = x * 2.0 + 1.0;
+            }
+        });
+        for (i, (&s, &d)) in src.iter().zip(&dst).enumerate() {
+            assert_eq!(d, s * 2.0 + 1.0, "element {i}");
+        }
+    }
+
+    #[test]
+    fn zip_small_input_stays_serial() {
+        let src = [1.0f32, 2.0, 3.0];
+        let mut dst = [0.0f32; 3];
+        par_zip_into(&src, &mut dst, |s, d| {
+            assert_eq!(s.len(), 3); // one call, whole slice
+            d.copy_from_slice(s);
+        });
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = par_join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_chunk() {
+        let mut empty: [u8; 0] = [];
+        par_chunks_mut(&mut empty, 8, |_, _| panic!("no chunks expected"));
+        let mut one = [1u8, 2, 3];
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        par_chunks_mut(&mut one, 8, |i, c| {
+            assert_eq!((i, c.len()), (0, 3));
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(calls.into_inner(), 1);
+    }
+}

@@ -235,7 +235,20 @@ impl NumberFormat for Posit {
     }
 
     fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        data.iter().map(|&v| self.quantize_value(v)).collect()
+        use crate::lut::{self, LutKey};
+        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
+            // Replaces the per-element f64 table walk with a codebook
+            // lookup over f32 bit space (static per geometry).
+            return lut::cached(
+                LutKey::Posit {
+                    n: self.n,
+                    es: self.es,
+                },
+                |v| self.quantize_value(v),
+            )
+            .quantize_slice(data);
+        }
+        crate::par::par_map_slice(data, |v| self.quantize_value(v))
     }
 
     fn is_adaptive(&self) -> bool {

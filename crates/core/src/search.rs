@@ -25,7 +25,12 @@ pub struct ExponentSearch {
     pub candidates: Vec<(u32, f64)>,
 }
 
-fn search<F>(n: u32, e_range: impl Iterator<Item = u32>, layers: &[&[f32]], build: F) -> Result<ExponentSearch, FormatError>
+fn search<F>(
+    n: u32,
+    e_range: impl Iterator<Item = u32>,
+    layers: &[&[f32]],
+    build: F,
+) -> Result<ExponentSearch, FormatError>
 where
     F: Fn(u32, u32) -> Result<Box<dyn NumberFormat>, FormatError>,
 {

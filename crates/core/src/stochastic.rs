@@ -53,7 +53,11 @@ impl AdaptivFloat {
         }
         if a < vmin {
             // P(round to vmin) = a / vmin — unbiased between 0 and vmin.
-            return if u < a / vmin { (sign * vmin) as f32 } else { 0.0 };
+            return if u < a / vmin {
+                (sign * vmin) as f32
+            } else {
+                0.0
+            };
         }
         let m = params.mantissa_bits();
         let mut exp = floor_log2(a);
@@ -111,7 +115,11 @@ mod tests {
         let params = fmt.params_with_bias(-5);
         for &g in &fmt.representable_values(&params) {
             for u in [0.0, 0.3, 0.7, 0.999] {
-                assert_eq!(fmt.quantize_with_stochastic(&params, g, u), g, "g={g} u={u}");
+                assert_eq!(
+                    fmt.quantize_with_stochastic(&params, g, u),
+                    g,
+                    "g={g} u={u}"
+                );
             }
         }
     }

@@ -83,7 +83,13 @@ pub struct CoverageReport {
 /// # Panics
 ///
 /// Panics if any geometry is invalid (e.g. `n < 4`).
-pub fn coverage(n: u32, adaptiv_e: u32, float_e: u32, posit_es: u32, exp_bias: i32) -> Vec<CoverageReport> {
+pub fn coverage(
+    n: u32,
+    adaptiv_e: u32,
+    float_e: u32,
+    posit_es: u32,
+    exp_bias: i32,
+) -> Vec<CoverageReport> {
     let af = AdaptivFloat::new(n, adaptiv_e).expect("valid adaptivfloat");
     let params = af.params_with_bias(exp_bias);
     let af_vals = af.representable_values(&params);
@@ -92,7 +98,11 @@ pub fn coverage(n: u32, adaptiv_e: u32, float_e: u32, posit_es: u32, exp_bias: i
     let po = Posit::new(n, posit_es).expect("valid posit");
     let po_vals = po.representable_values();
     let report = |name: String, vals: &[f32]| {
-        let pos: Vec<f64> = vals.iter().filter(|&&v| v > 0.0).map(|&v| v as f64).collect();
+        let pos: Vec<f64> = vals
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .map(|&v| v as f64)
+            .collect();
         CoverageReport {
             name,
             min_pos: pos.first().copied().unwrap_or(0.0),

@@ -73,9 +73,22 @@ impl Uniform {
 
     /// Quantize a slice under a fixed scale (dequantized values).
     pub fn quantize_with_scale(&self, scale: f64, data: &[f32]) -> Vec<f32> {
-        data.iter()
-            .map(|&v| (self.quantize_level(scale, v) as f64 * scale) as f32)
-            .collect()
+        use crate::lut::{self, LutKey};
+        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
+            // One codebook per (geometry, scale); per-tensor scales repeat
+            // across calls (calibrated activations), so the cache pays off.
+            return lut::cached(
+                LutKey::Uniform {
+                    n: self.n,
+                    scale_bits: scale.to_bits(),
+                },
+                |v| (self.quantize_level(scale, v) as f64 * scale) as f32,
+            )
+            .quantize_slice(data);
+        }
+        crate::par::par_map_slice(data, |v| {
+            (self.quantize_level(scale, v) as f64 * scale) as f32
+        })
     }
 
     /// Quantize, also returning the derived scale and integer levels —
@@ -105,11 +118,8 @@ impl NumberFormat for Uniform {
     }
 
     fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        let (scale, levels) = self.quantize_levels(data);
-        levels
-            .into_iter()
-            .map(|q| (q as f64 * scale) as f32)
-            .collect()
+        let max_abs = f32::from_bits(crate::kernels::max_abs_bits(data));
+        self.quantize_with_scale(self.scale_for(max_abs), data)
     }
 
     fn is_adaptive(&self) -> bool {
@@ -186,7 +196,9 @@ mod tests {
 
     #[test]
     fn more_bits_lower_error() {
-        let data: Vec<f32> = (0..512).map(|i| ((i * 37) % 101) as f32 * 0.07 - 3.5).collect();
+        let data: Vec<f32> = (0..512)
+            .map(|i| ((i * 37) % 101) as f32 * 0.07 - 3.5)
+            .collect();
         let e4 = rms_error(&data, &Uniform::new(4).unwrap().quantize_slice(&data));
         let e8 = rms_error(&data, &Uniform::new(8).unwrap().quantize_slice(&data));
         assert!(e8 < e4);

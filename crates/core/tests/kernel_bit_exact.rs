@@ -1,0 +1,169 @@
+//! Property tests pinning the bit-twiddled AdaptivFloat kernel to the
+//! scalar f64 reference: `quantize_slice` / `quantize_slice_with_params`
+//! must agree **bit-for-bit** with `quantize_slice_reference` /
+//! `quantize_with` on every input — random finite data, raw bit
+//! patterns (NaN payloads, infinities, subnormals), exact halfway ties,
+//! and one-ulp neighbours of every representable value.
+
+use adaptivfloat::{AdaptivFloat, NumberFormat};
+use proptest::prelude::*;
+
+/// Paper-relevant `<n, e>` geometries, small to wide.
+const GEOMETRIES: &[(u32, u32)] = &[(4, 2), (6, 3), (8, 3), (8, 4), (12, 5), (16, 5)];
+
+/// Adversarial scalar inputs: signed zeros, NaNs of both signs, both
+/// infinities, the subnormal extremes, and the finite extremes.
+fn specials() -> Vec<f32> {
+    vec![
+        0.0,
+        -0.0,
+        f32::NAN,
+        f32::from_bits(0xffc0_0000), // -NaN
+        f32::from_bits(0x7f80_0001), // signalling NaN
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::from_bits(1),           // smallest subnormal
+        f32::from_bits(0x007f_ffff), // largest subnormal
+        f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        f32::EPSILON,
+        1.0,
+        -1.0,
+    ]
+}
+
+proptest! {
+    /// Whole-pipeline agreement (params derivation + quantization) on
+    /// random finite tensors, for every geometry.
+    #[test]
+    fn slice_matches_reference_on_random_data(
+        data in prop::collection::vec(-1e6f32..1e6, 1..256),
+        gi in 0usize..GEOMETRIES.len(),
+    ) {
+        let (n, e) = GEOMETRIES[gi];
+        let fmt = AdaptivFloat::new(n, e).expect("valid geometry");
+        let fast = fmt.quantize_slice(&data);
+        let reference = fmt.quantize_slice_reference(&data);
+        for i in 0..data.len() {
+            prop_assert_eq!(
+                (i, fast[i].to_bits()),
+                (i, reference[i].to_bits())
+            );
+        }
+    }
+
+    /// Raw bit patterns cover every f32 class — NaN payloads, ±∞,
+    /// subnormals, signed zeros — through the full pipeline.
+    #[test]
+    fn slice_matches_reference_on_raw_bit_patterns(
+        bits in prop::collection::vec(0u32..=u32::MAX, 1..256),
+        gi in 0usize..GEOMETRIES.len(),
+    ) {
+        let (n, e) = GEOMETRIES[gi];
+        let fmt = AdaptivFloat::new(n, e).expect("valid geometry");
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let fast = fmt.quantize_slice(&data);
+        let reference = fmt.quantize_slice_reference(&data);
+        for i in 0..data.len() {
+            prop_assert_eq!(
+                (i, fast[i].to_bits()),
+                (i, reference[i].to_bits())
+            );
+        }
+    }
+
+    /// Fixed parameters (exercising the fast kernel directly, including
+    /// biases far from any tensor-derived value) against the scalar
+    /// reference on raw bit patterns.
+    #[test]
+    fn fixed_params_match_scalar_reference(
+        bits in prop::collection::vec(0u32..=u32::MAX, 1..128),
+        gi in 0usize..GEOMETRIES.len(),
+        bias in -30i32..=10,
+    ) {
+        let (n, e) = GEOMETRIES[gi];
+        let fmt = AdaptivFloat::new(n, e).expect("valid geometry");
+        let params = fmt.params_with_bias(bias);
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let fast = fmt.quantize_slice_with_params(&params, &data);
+        for (i, &v) in data.iter().enumerate() {
+            let reference = fmt.quantize_with(&params, v);
+            prop_assert_eq!((i, fast[i].to_bits()), (i, reference.to_bits()));
+        }
+    }
+}
+
+/// One ulp up/down from a finite f32, staying within finite range.
+fn ulp_neighbors(v: f32) -> [f32; 2] {
+    let bits = v.to_bits();
+    let up = if v >= 0.0 { bits + 1 } else { bits - 1 };
+    let down = if v > 0.0 {
+        bits - 1
+    } else if v == 0.0 {
+        0x8000_0001 // just below -0.0
+    } else {
+        bits + 1
+    };
+    [f32::from_bits(up), f32::from_bits(down)]
+}
+
+/// The hardest deterministic inputs: every representable grid value, the
+/// exact midpoint of every adjacent pair (the round-half tie), one-ulp
+/// neighbours of both, the sub-minimum halfway point, and the specials —
+/// swept over all geometries and a spread of biases.
+#[test]
+fn ties_grid_points_and_specials_match_reference() {
+    for &(n, e) in GEOMETRIES {
+        let fmt = AdaptivFloat::new(n, e).expect("valid geometry");
+        for bias in [-16i32, -8, -2, 0, 3] {
+            let params = fmt.params_with_bias(bias);
+            let grid = fmt.representable_values(&params);
+            let mut inputs: Vec<f32> = specials();
+            inputs.push((params.value_min() * 0.5) as f32);
+            inputs.push((-params.value_min() * 0.5) as f32);
+            for pair in grid.windows(2) {
+                let mid = ((pair[0] as f64 + pair[1] as f64) / 2.0) as f32;
+                inputs.push(mid);
+                inputs.extend(ulp_neighbors(mid));
+            }
+            for &g in &grid {
+                inputs.push(g);
+                inputs.extend(ulp_neighbors(g));
+            }
+            let fast = fmt.quantize_slice_with_params(&params, &inputs);
+            for (i, &v) in inputs.iter().enumerate() {
+                let reference = fmt.quantize_with(&params, v);
+                assert_eq!(
+                    fast[i].to_bits(),
+                    reference.to_bits(),
+                    "<{n},{e}> bias {bias}: input {v:?} (bits {:#010x}): \
+                     fast {:?} != reference {reference:?}",
+                    v.to_bits(),
+                    fast[i],
+                );
+            }
+        }
+    }
+}
+
+/// Tensor-derived params from the integer max-abs scan equal the f64
+/// reference derivation, even when the tensor is polluted with
+/// non-finite values (both sides must ignore them).
+#[test]
+fn derived_params_match_reference_derivation() {
+    let fmt = AdaptivFloat::new(8, 3).expect("valid geometry");
+    let tensors: &[&[f32]] = &[
+        &[0.0],
+        &[f32::NAN, f32::INFINITY, f32::NEG_INFINITY],
+        &[f32::NAN, 3.7, -0.2],
+        &[f32::from_bits(1), f32::from_bits(0x007f_ffff)],
+        &[f32::MAX, -1.0],
+        &[-255.9, 4.0, f32::INFINITY],
+    ];
+    for &data in tensors {
+        let scanned = adaptivfloat::kernels::params_from_bits_scan(&fmt, data);
+        let reference = fmt.params_for(data);
+        assert_eq!(scanned, reference, "data {data:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests pinning the LUT codebook path to the analytic scalar
+//! quantizers: for every enumerable format at `n ∈ {4, 5, 6, 8}` the
+//! slice path (which compiles and caches a codebook for `n ≤ 8`,
+//! `len ≥ 32`) must agree **bit-for-bit** with the per-element analytic
+//! quantizer — including on NaNs, infinities, subnormals, and signed
+//! zeros, where the formats legitimately differ from each other in the
+//! sign of the zero they produce.
+
+use adaptivfloat::{BlockFloat, FixedPoint, IeeeLikeFloat, NumberFormat, Posit, Uniform};
+use proptest::prelude::*;
+
+/// The word sizes the issue calls out for the LUT sweep.
+const WORD_SIZES: &[u32] = &[4, 5, 6, 8];
+
+/// Adversarial scalar inputs appended to every random tensor.
+fn specials() -> Vec<f32> {
+    vec![
+        0.0,
+        -0.0,
+        f32::NAN,
+        f32::from_bits(0xffc0_0000), // -NaN
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::from_bits(1),           // smallest subnormal
+        f32::from_bits(0x007f_ffff), // largest subnormal
+        f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+    ]
+}
+
+/// Exponent-field width matching `FormatKind::build`'s choice.
+fn ieee_e(n: u32) -> u32 {
+    if n <= 4 {
+        3.min(n - 1)
+    } else {
+        4
+    }
+}
+
+/// Compare a slice run (LUT path) against the given analytic scalar,
+/// bit for bit.
+fn assert_matches_scalar(
+    name: &str,
+    got: &[f32],
+    data: &[f32],
+    scalar: impl Fn(f32) -> f32,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for (i, &v) in data.iter().enumerate() {
+        let want = scalar(v);
+        prop_assert_eq!(
+            (i, got[i].to_bits()),
+            (i, want.to_bits()),
+            // Rendered on failure only: the offending input and outputs.
+            "{}: input {:?} (bits {:#010x}): lut {:?} != analytic {:?}",
+            name,
+            v,
+            v.to_bits(),
+            got[i],
+            want
+        );
+    }
+    Ok(())
+}
+
+/// A data vector long enough to engage the LUT (`len ≥ 32`), mixing
+/// random magnitudes across many binades with the specials.
+fn data_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2e4f32..2e4, 32..160)
+}
+
+proptest! {
+    /// IeeeLikeFloat: slice path vs the public scalar `quantize_value`.
+    #[test]
+    fn ieee_like_lut_matches_quantize_value(
+        data in data_strategy(),
+        ni in 0usize..WORD_SIZES.len(),
+    ) {
+        let mut data = data.clone();
+        data.extend(specials());
+        let n = WORD_SIZES[ni];
+        let fmt = IeeeLikeFloat::new(n, ieee_e(n)).expect("valid geometry");
+        let got = fmt.quantize_slice(&data);
+        assert_matches_scalar(&fmt.name(), &got, &data, |v| fmt.quantize_value(v))?;
+    }
+
+    /// Posit: slice path vs the scalar table walk, at every `es` the
+    /// format sweep uses.
+    #[test]
+    fn posit_lut_matches_quantize_value(
+        data in data_strategy(),
+        ni in 0usize..WORD_SIZES.len(),
+        es in 0u32..=2,
+    ) {
+        let mut data = data.clone();
+        data.extend(specials());
+        let n = WORD_SIZES[ni];
+        let fmt = Posit::new(n, es).expect("valid geometry");
+        let got = fmt.quantize_slice(&data);
+        assert_matches_scalar(&fmt.name(), &got, &data, |v| fmt.quantize_value(v))?;
+    }
+
+    /// FixedPoint: slice path vs the scalar rounding, across integer-bit
+    /// splits.
+    #[test]
+    fn fixed_lut_matches_quantize_value(
+        data in data_strategy(),
+        ni in 0usize..WORD_SIZES.len(),
+        int_bits in 1u32..=3,
+    ) {
+        let mut data = data.clone();
+        data.extend(specials());
+        let n = WORD_SIZES[ni];
+        let fmt = FixedPoint::new(n, int_bits.min(n - 1)).expect("valid geometry");
+        let got = fmt.quantize_slice(&data);
+        assert_matches_scalar(&fmt.name(), &got, &data, |v| fmt.quantize_value(v))?;
+    }
+
+    /// Uniform: the full slice takes the LUT path; a 2-element slice
+    /// `[v, max]` takes the scalar fallback with the *same* derived
+    /// scale (the appended max pins it), so the two must agree.
+    #[test]
+    fn uniform_lut_matches_scalar_fallback(
+        data in data_strategy(),
+        ni in 0usize..WORD_SIZES.len(),
+    ) {
+        let mut data = data.clone();
+        data.extend(specials());
+        let n = WORD_SIZES[ni];
+        let fmt = Uniform::new(n).expect("valid geometry");
+        let max_abs = data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |m, v| m.max(v.abs()));
+        let got = fmt.quantize_slice(&data);
+        assert_matches_scalar(&fmt.name(), &got, &data, |v| {
+            fmt.quantize_slice(&[v, max_abs])[0]
+        })?;
+    }
+
+    /// BlockFloat (per-tensor shared exponent): same pinned-max trick —
+    /// the 2-element slice derives the identical shared exponent and
+    /// runs the scalar mantissa grid.
+    #[test]
+    fn bfp_lut_matches_scalar_fallback(
+        data in data_strategy(),
+        ni in 0usize..WORD_SIZES.len(),
+    ) {
+        let mut data = data.clone();
+        data.extend(specials());
+        let n = WORD_SIZES[ni];
+        let fmt = BlockFloat::new(n).expect("valid geometry");
+        let max_abs = data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, |m, v| m.max(v.abs()));
+        let got = fmt.quantize_slice(&data);
+        assert_matches_scalar(&fmt.name(), &got, &data, |v| {
+            fmt.quantize_slice(&[v, max_abs])[0]
+        })?;
+    }
+}
+
+/// Tensors spanning extreme dynamic ranges (subnormal-only, huge-only,
+/// mixed) still agree between LUT and analytic paths.
+#[test]
+fn extreme_range_tensors_match() {
+    let subnormals: Vec<f32> = (1u32..64).map(f32::from_bits).collect();
+    let huge: Vec<f32> = (0..64).map(|i| f32::MAX / (i + 1) as f32).collect();
+    let mixed: Vec<f32> = subnormals
+        .iter()
+        .chain(huge.iter())
+        .flat_map(|&v| [v, -v])
+        .collect();
+    for data in [&subnormals, &huge, &mixed] {
+        for &n in WORD_SIZES {
+            let ieee = IeeeLikeFloat::new(n, ieee_e(n)).expect("valid");
+            let got = ieee.quantize_slice(data);
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(
+                    got[i].to_bits(),
+                    ieee.quantize_value(v).to_bits(),
+                    "{} input {v:e}",
+                    ieee.name()
+                );
+            }
+            let posit = Posit::new(n, 1).expect("valid");
+            let got = posit.quantize_slice(data);
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(
+                    got[i].to_bits(),
+                    posit.quantize_value(v).to_bits(),
+                    "{} input {v:e}",
+                    posit.name()
+                );
+            }
+        }
+    }
+}

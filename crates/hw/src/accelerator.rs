@@ -96,17 +96,14 @@ impl Accelerator {
         // Dynamic energy: active compute cycles on the PEs.
         let array_macs_per_cycle = self.pe.macs_per_cycle() * self.num_pes as u64;
         let compute_cycles =
-            workload.macs_per_timestep().div_ceil(array_macs_per_cycle)
-                * workload.timesteps as u64;
-        let pe_energy_fj = self.pe.cycle_energy_fj() * compute_cycles as f64
-            * self.num_pes as f64;
+            workload.macs_per_timestep().div_ceil(array_macs_per_cycle) * workload.timesteps as u64;
+        let pe_energy_fj = self.pe.cycle_energy_fj() * compute_cycles as f64 * self.num_pes as f64;
         // Global buffer traffic: each timestep writes the hidden state in
         // and broadcasts it back out to 4 PEs.
         let n = self.pe.config().n_bits as f64;
         let gb_bits_per_step = workload.hidden as f64 * n * (1.0 + self.num_pes as f64);
-        let gb_energy_fj = gb_bits_per_step
-            * workload.timesteps as f64
-            * self.params.sram_read_fj_per_bit;
+        let gb_energy_fj =
+            gb_bits_per_step * workload.timesteps as f64 * self.params.sram_read_fj_per_bit;
         // Crossbar/bus: one flit per transferred activation.
         let bus_energy_fj =
             workload.hidden as f64 * workload.timesteps as f64 * self.params.ctrl_fj_per_lane;
@@ -131,9 +128,8 @@ impl Accelerator {
     /// overhead), per-PE weight buffers, the global buffer, and a
     /// crossbar allowance.
     pub fn area_mm2(&self) -> f64 {
-        let datapath = self.pe.datapath_area_mm2()
-            * self.params.hls_area_overhead
-            * self.num_pes as f64;
+        let datapath =
+            self.pe.datapath_area_mm2() * self.params.hls_area_overhead * self.num_pes as f64;
         let sram_bits = (self.weight_buffer_bytes * self.num_pes + self.gb_bytes) as f64 * 8.0;
         let sram = sram_bits * self.params.sram_um2_per_bit / 1e6;
         let crossbar = 0.3;

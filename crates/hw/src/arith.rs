@@ -90,12 +90,7 @@ pub fn hfint_dot(
 ///
 /// Panics if the level slices have different lengths or `scale` is not
 /// positive and finite.
-pub fn int_dot_scaled(
-    w_levels: &[i64],
-    a_levels: &[i64],
-    scale: f64,
-    s_bits: u32,
-) -> (i128, f64) {
+pub fn int_dot_scaled(w_levels: &[i64], a_levels: &[i64], scale: f64, s_bits: u32) -> (i128, f64) {
     assert_eq!(w_levels.len(), a_levels.len(), "operand count mismatch");
     assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
     let mut acc: i128 = 0;
@@ -110,7 +105,11 @@ pub fn int_dot_scaled(
     // Arithmetic shift right with rounding (the hardware truncates after
     // adding half an LSB).
     let half = 1i128 << (r - 1).max(0);
-    let shifted = if r > 0 { (scaled + half) >> r } else { scaled << -r };
+    let shifted = if r > 0 {
+        (scaled + half) >> r
+    } else {
+        scaled << -r
+    };
     (shifted, shifted as f64)
 }
 
@@ -135,17 +134,17 @@ mod tests {
         // Integer accumulation of AdaptivFloat products must equal the
         // exact dot product of the dequantized operands.
         let fmt = AdaptivFloat::new(8, 3).unwrap();
-        let w: Vec<f32> = (0..64).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.11).collect();
-        let a: Vec<f32> = (0..64).map(|i| ((i * 13 % 23) as f32 - 11.0) * 0.07).collect();
+        let w: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.11)
+            .collect();
+        let a: Vec<f32> = (0..64)
+            .map(|i| ((i * 13 % 23) as f32 - 11.0) * 0.07)
+            .collect();
         let wp = fmt.params_for(&w);
         let ap = fmt.params_for(&a);
         let wq = fmt.quantize_slice(&w);
         let aq = fmt.quantize_slice(&a);
-        let exact: f64 = wq
-            .iter()
-            .zip(&aq)
-            .map(|(&x, &y)| x as f64 * y as f64)
-            .sum();
+        let exact: f64 = wq.iter().zip(&aq).map(|(&x, &y)| x as f64 * y as f64).sum();
         let wc = codes(&fmt, &wp, &w);
         let ac = codes(&fmt, &ap, &a);
         let (_, got) = hfint_dot(&fmt, &wp, &ap, &wc, &ac);
@@ -179,7 +178,10 @@ mod tests {
         // with both implied-one bits is two more (mantissa products are
         // 2(m+1) bits wide).
         let width = 2 * 7 + 2 * (4 + 1) + 8; // = 32
-        assert!(acc.abs() < (1i128 << width), "acc {acc} overflows {width} bits");
+        assert!(
+            acc.abs() < (1i128 << width),
+            "acc {acc} overflows {width} bits"
+        );
         // ...and genuinely needs nearly that width (not 30 bits).
         assert!(acc.abs() > (1i128 << (width - 1)));
     }
@@ -188,8 +190,12 @@ mod tests {
     fn int_dot_matches_float_reference_to_scale_precision() {
         use adaptivfloat::Uniform;
         let fmt = Uniform::new(8).unwrap();
-        let w: Vec<f32> = (0..128).map(|i| ((i * 7 % 31) as f32 - 15.0) * 0.04).collect();
-        let a: Vec<f32> = (0..128).map(|i| ((i * 11 % 29) as f32 - 14.0) * 0.05).collect();
+        let w: Vec<f32> = (0..128)
+            .map(|i| ((i * 7 % 31) as f32 - 15.0) * 0.04)
+            .collect();
+        let a: Vec<f32> = (0..128)
+            .map(|i| ((i * 11 % 29) as f32 - 14.0) * 0.05)
+            .collect();
         let (sw, wl) = fmt.quantize_levels(&w);
         let (sa, al) = fmt.quantize_levels(&a);
         let exact: f64 = wl

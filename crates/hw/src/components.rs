@@ -63,9 +63,8 @@ impl Bom {
 
     /// Render as an aligned table (name, count, energy, area).
     pub fn to_table(&self) -> String {
-        let mut out = String::from(
-            "component                              count     fJ/event      µm²\n",
-        );
+        let mut out =
+            String::from("component                              count     fJ/event      µm²\n");
         for i in &self.items {
             out.push_str(&format!(
                 "{:<38} {:>7.0} {:>12.2} {:>8.1}\n",

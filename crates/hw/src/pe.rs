@@ -168,12 +168,27 @@ impl PeModel {
                     p.shift_fj_per_bit * a / 2.0,
                     0.0,
                 );
-                ce.push("adder tree element (wide)", k * k, p.add_fj_per_bit * a, 0.0);
+                ce.push(
+                    "adder tree element (wide)",
+                    k * k,
+                    p.add_fj_per_bit * a,
+                    0.0,
+                );
             }
         }
-        ce.push("operand latch read", k * k, p.reg_read_fj_per_bit * 2.0 * n, 0.0);
+        ce.push(
+            "operand latch read",
+            k * k,
+            p.reg_read_fj_per_bit * 2.0 * n,
+            0.0,
+        );
         ce.push("accumulator add", k, p.add_fj_per_bit * a, 0.0);
-        ce.push("partial-sum register write", k, p.reg_write_fj_per_bit * a, 0.0);
+        ce.push(
+            "partial-sum register write",
+            k,
+            p.reg_write_fj_per_bit * a,
+            0.0,
+        );
         ce.push("input buffer SRAM read", k, p.sram_read_fj_per_bit * n, 0.0);
         ce.push("control (fixed)", 1.0, p.ctrl_fj_fixed, 0.0);
         ce.push("control (per lane)", k, p.ctrl_fj_per_lane, 0.0);
@@ -188,13 +203,23 @@ impl PeModel {
                     p.mult_fj_per_bit2 * a * s / 8.0,
                     0.0,
                 );
-                pe_bom.push("scaled register write", 1.0, p.reg_write_fj_per_bit * wide, 0.0);
+                pe_bom.push(
+                    "scaled register write",
+                    1.0,
+                    p.reg_write_fj_per_bit * wide,
+                    0.0,
+                );
                 pe_bom.push("dequant right-shift", 1.0, p.shift_fj_per_bit * wide, 0.0);
                 pe_bom.push("clip + truncate", 1.0, p.add_fj_per_bit * n, 0.0);
                 pe_bom.push("activation unit", 1.0, p.add_fj_per_bit * n, 0.0);
             }
             PeKind::HfInt => {
-                pe_bom.push("exp_bias adders (w+a)", 2.0, p.add_fj_per_bit * (e + 2.0), 0.0);
+                pe_bom.push(
+                    "exp_bias adders (w+a)",
+                    2.0,
+                    p.add_fj_per_bit * (e + 2.0),
+                    0.0,
+                );
                 pe_bom.push("exp_bias shift", 1.0, p.shift_fj_per_bit * a, 0.0);
                 pe_bom.push(
                     "int→float converter (prio-encode)",
@@ -202,8 +227,18 @@ impl PeModel {
                     p.add_fj_per_bit * a,
                     0.0,
                 );
-                pe_bom.push("int→float converter (normalize)", 1.0, p.shift_fj_per_bit * a, 0.0);
-                pe_bom.push("output register write", 1.0, p.reg_write_fj_per_bit * n, 0.0);
+                pe_bom.push(
+                    "int→float converter (normalize)",
+                    1.0,
+                    p.shift_fj_per_bit * a,
+                    0.0,
+                );
+                pe_bom.push(
+                    "output register write",
+                    1.0,
+                    p.reg_write_fj_per_bit * n,
+                    0.0,
+                );
                 pe_bom.push("activation unit", 1.0, p.add_fj_per_bit * n, 0.0);
             }
         }
@@ -239,9 +274,19 @@ impl PeModel {
                 );
                 ar.push("exponent adder", k * k, 0.0, p.add_um2_per_bit * (e + 1.0));
                 ar.push("product align shifter", k * k, 0.0, p.shift_um2_per_bit * a);
-                ar.push("adder tree element (wide)", k * k, 0.0, p.add_um2_per_bit * a);
+                ar.push(
+                    "adder tree element (wide)",
+                    k * k,
+                    0.0,
+                    p.add_um2_per_bit * a,
+                );
                 ar.push("weight register", k * k, 0.0, p.reg_um2_per_bit * n);
-                ar.push("post: exp_bias adders", k, 0.0, p.add_um2_per_bit * (e + 2.0));
+                ar.push(
+                    "post: exp_bias adders",
+                    k,
+                    0.0,
+                    p.add_um2_per_bit * (e + 2.0),
+                );
                 ar.push("post: shifters", k, 0.0, 2.0 * p.shift_um2_per_bit * a);
                 ar.push("post: converter adder", k, 0.0, p.add_um2_per_bit * a);
                 ar.push("post: output register", k, 0.0, p.reg_um2_per_bit * n);
@@ -266,8 +311,7 @@ impl PeModel {
     /// Energy of one active cycle (K² MACs + lane + control + amortized
     /// post-processing) in fJ.
     pub fn cycle_energy_fj(&self) -> f64 {
-        let outputs_per_cycle =
-            self.macs_per_cycle() as f64 / self.config.accum_depth as f64;
+        let outputs_per_cycle = self.macs_per_cycle() as f64 / self.config.accum_depth as f64;
         self.cycle_energy.energy_fj() + outputs_per_cycle * self.post_energy.energy_fj()
     }
 
@@ -341,10 +385,10 @@ mod tests {
     fn hfint_energy_advantage_grows_with_width_and_vector() {
         // Paper: HFINT/INT per-op energy goes from ~0.97× (4-bit, K=4)
         // to ~0.90× (8-bit, K=16).
-        let r44 = pe(PeKind::HfInt, 4, 4).energy_per_op_fj()
-            / pe(PeKind::Int, 4, 4).energy_per_op_fj();
-        let r816 = pe(PeKind::HfInt, 8, 16).energy_per_op_fj()
-            / pe(PeKind::Int, 8, 16).energy_per_op_fj();
+        let r44 =
+            pe(PeKind::HfInt, 4, 4).energy_per_op_fj() / pe(PeKind::Int, 4, 4).energy_per_op_fj();
+        let r816 =
+            pe(PeKind::HfInt, 8, 16).energy_per_op_fj() / pe(PeKind::Int, 8, 16).energy_per_op_fj();
         assert!(r44 <= 1.02, "4-bit K=4 ratio {r44}");
         assert!(r816 < r44, "advantage must grow: {r44} → {r816}");
         assert!((0.80..0.97).contains(&r816), "8-bit K=16 ratio {r816}");

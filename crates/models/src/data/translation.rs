@@ -63,7 +63,10 @@ impl TranslationDataset {
         src.iter()
             .rev()
             .map(|&t| {
-                assert!(t >= CONTENT_BASE && t < VOCAB, "not a content token: {t}");
+                assert!(
+                    (CONTENT_BASE..VOCAB).contains(&t),
+                    "not a content token: {t}"
+                );
                 CONTENT_BASE + ((t - CONTENT_BASE) + SHIFT) % CONTENT_COUNT
             })
             .collect()

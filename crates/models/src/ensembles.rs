@@ -133,8 +133,7 @@ impl EnsembleKind {
                 // Box–Muller Gaussian core.
                 let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                 let u2: f32 = rng.gen_range(0.0..1.0);
-                let g = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f32::consts::PI * u2).cos();
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
                 let mut v = g * sigma;
                 // Heavy tail: occasional large-magnitude outliers.
                 if rng.gen_range(0.0f32..1.0) < self.outlier_fraction() {

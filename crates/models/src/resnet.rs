@@ -93,7 +93,7 @@ impl MiniResNet {
         let (y, _, _) = self.stem.forward(tape, x, batch, s, s);
         let y = self.stem_bn.forward(tape, y);
         let y = tape.relu(y); // [batch·144, 8] channels-last
-        // Residual block 1 at 12×12, 8 channels.
+                              // Residual block 1 at 12×12, 8 channels.
         let skip = y;
         let x1 = tape.channels_last_to_nchw(y, batch, s, s, 8);
         let (y, _, _) = self.b1_conv1.forward(tape, x1, batch, s, s);
@@ -111,7 +111,7 @@ impl MiniResNet {
         let (skip16, _, _) = self.down_skip.forward(tape, x3, batch, s, s);
         let y = tape.add(main, skip16);
         let y = tape.relu(y); // [batch·36, 16]
-        // Residual block 2 at 6×6, 16 channels.
+                              // Residual block 2 at 6×6, 16 channels.
         let skip = y;
         let x4 = tape.channels_last_to_nchw(y, batch, oh, ow, 16);
         let (y, _, _) = self.b2_conv1.forward(tape, x4, batch, oh, ow);

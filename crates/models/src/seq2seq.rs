@@ -6,9 +6,7 @@
 //! the encoder outputs, and a joint `[hidden, context] → vocab`
 //! classifier.
 
-use af_nn::{
-    Adam, Embedding, Layer, Linear, Lstm, NodeId, Optimizer, Param, Quantizer, Tape,
-};
+use af_nn::{Adam, Embedding, Layer, Linear, Lstm, NodeId, Optimizer, Param, Quantizer, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -82,10 +82,7 @@ impl MiniTransformer {
     }
 
     fn add_positions(&self, tape: &mut Tape, x: NodeId, len: usize) -> NodeId {
-        let pe = Tensor::from_vec(
-            self.pos.data()[..len * D_MODEL].to_vec(),
-            &[len, D_MODEL],
-        );
+        let pe = Tensor::from_vec(self.pos.data()[..len * D_MODEL].to_vec(), &[len, D_MODEL]);
         let pe = tape.input(pe);
         tape.add(x, pe)
     }

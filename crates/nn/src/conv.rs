@@ -65,7 +65,9 @@ impl Conv2d {
     ) -> (NodeId, usize, usize) {
         let mut wt = self.w.bind(tape);
         if let Some(q) = &self.weight_quant {
-            wt = self.quant_cache.get_or_insert_with(tape, |t| t.fake_quant(wt, q));
+            wt = self
+                .quant_cache
+                .get_or_insert_with(tape, |t| t.fake_quant(wt, q));
         }
         let b = self.b.bind(tape);
         let y = tape.conv2d(x, wt, self.spec, batch, h, w);

@@ -44,7 +44,9 @@ impl Embedding {
     pub fn forward(&mut self, tape: &mut Tape, indices: &[usize]) -> NodeId {
         let mut t = self.table.bind(tape);
         if let Some(q) = &self.weight_quant {
-            t = self.quant_cache.get_or_insert_with(tape, |tp| tp.fake_quant(t, q));
+            t = self
+                .quant_cache
+                .get_or_insert_with(tape, |tp| tp.fake_quant(t, q));
         }
         tape.embedding(t, indices)
     }

@@ -62,7 +62,9 @@ impl Linear {
         if let Some(q) = &self.weight_quant {
             // Quantize the bound weight once per tape, even when this
             // layer forwards at every timestep of an unrolled RNN.
-            w = self.quant_cache.get_or_insert_with(tape, |t| t.fake_quant(w, q));
+            w = self
+                .quant_cache
+                .get_or_insert_with(tape, |t| t.fake_quant(w, q));
         }
         let b = self.b.bind(tape);
         let y = tape.matmul_t(x, w);

@@ -62,7 +62,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.velocity.len(), params.len(), "param set changed size");
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
@@ -117,8 +120,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "param set changed size");
         self.t += 1;

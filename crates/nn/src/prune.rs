@@ -152,7 +152,13 @@ mod tests {
         assert_eq!(r.total, 4);
         assert_eq!(b.value.data(), &[1.0, 1.0]);
         let mut params = vec![&mut w, &mut b];
-        let s = weight_sparsity(&params.as_mut_slice().iter_mut().map(|p| &mut **p).collect::<Vec<_>>());
+        let s = weight_sparsity(
+            &params
+                .as_mut_slice()
+                .iter_mut()
+                .map(|p| &mut **p)
+                .collect::<Vec<_>>(),
+        );
         assert!((s - 0.5).abs() < 1e-9);
     }
 

@@ -268,8 +268,7 @@ impl Tape {
         for r in 0..rows {
             let row = &xv.data()[r * cols..(r + 1) * cols];
             let mean: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 =
-                row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             let istd = 1.0 / (var + eps).sqrt();
             inv_std.push(istd);
             for c in 0..cols {
@@ -309,8 +308,8 @@ impl Tape {
         let mut mean = vec![0.0f32; cols];
         let mut var = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                mean[c] += xv.at(r, c);
+            for (c, m) in mean.iter_mut().enumerate() {
+                *m += xv.at(r, c);
             }
         }
         mean.iter_mut().for_each(|m| *m /= rows as f32);
@@ -650,11 +649,10 @@ impl Tape {
                 let inv_std = inv_std.clone();
                 let g = self.value(gamma).data().to_vec();
                 let cols = xhat.cols();
-                let rows = xhat.rows();
                 let mut dx = Tensor::zeros(xhat.shape());
                 let mut dgamma = vec![0.0f32; cols];
                 let mut dbeta = vec![0.0f32; cols];
-                for r in 0..rows {
+                for (r, &istd) in inv_std.iter().enumerate() {
                     let xr = &xhat.data()[r * cols..(r + 1) * cols];
                     let gr = &gy.data()[r * cols..(r + 1) * cols];
                     let mut sum_dg = 0.0f32;
@@ -670,7 +668,7 @@ impl Tape {
                     for c in 0..cols {
                         let dyg = gr[c] * g[c];
                         dx.data_mut()[r * cols + c] =
-                            inv_std[r] * (dyg - inv_n * sum_dg - xr[c] * inv_n * sum_dg_x);
+                            istd * (dyg - inv_n * sum_dg - xr[c] * inv_n * sum_dg_x);
                     }
                 }
                 self.accumulate(x, dx);
@@ -883,8 +881,8 @@ fn softmax_rows(x: &Tensor) -> Tensor {
         let row = &x.data()[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
-        for c in 0..cols {
-            let e = (row[c] - max).exp();
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
             out.data_mut()[r * cols + c] = e;
             sum += e;
         }
@@ -966,7 +964,10 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let mut t = Tape::new();
-        let x = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let x = t.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+            &[2, 3],
+        ));
         let y = t.softmax(x);
         for r in 0..2 {
             let s: f32 = t.value(y).row(r).iter().sum();
@@ -977,7 +978,10 @@ mod tests {
     #[test]
     fn cross_entropy_matches_manual() {
         let mut t = Tape::new();
-        let logits = t.input(Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3]));
+        let logits = t.input(Tensor::from_vec(
+            vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0],
+            &[2, 3],
+        ));
         let loss = t.cross_entropy(logits, &[0, 1]);
         let p0 = 2.0f32.exp() / (2.0f32.exp() + 2.0);
         let p1 = 3.0f32.exp() / (3.0f32.exp() + 2.0);
@@ -1016,7 +1020,12 @@ mod tests {
         let y = t.layer_norm(x, g, b, 1e-5);
         let yv = t.value(y);
         let mean: f32 = yv.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = yv.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = yv
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -1024,19 +1033,28 @@ mod tests {
     #[test]
     fn embedding_gathers_and_scatters() {
         let mut t = Tape::new();
-        let table = t.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let table = t.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[3, 2],
+        ));
         let e = t.embedding(table, &[2, 0, 2]);
         assert_eq!(t.value(e).data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
         let loss = t.sum_all(e);
         t.backward(loss);
         // Row 2 used twice, row 0 once, row 1 never.
-        assert_eq!(t.grad(table).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(
+            t.grad(table).unwrap().data(),
+            &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
     }
 
     #[test]
     fn slice_concat_roundtrip_grads() {
         let mut t = Tape::new();
-        let x = t.input(Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 4]));
+        let x = t.input(Tensor::from_vec(
+            (0..8).map(|i| i as f32).collect(),
+            &[2, 4],
+        ));
         let a = t.slice_cols(x, 0, 2);
         let b = t.slice_cols(x, 2, 2);
         let y = t.concat_cols(&[a, b]);

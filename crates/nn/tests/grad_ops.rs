@@ -39,7 +39,10 @@ fn grad_add_sub_mul() {
 fn grad_matmul_both_sides() {
     let a = x(&seq(6, |i| (i as f32 * 0.53).cos()), &[2, 3]);
     let err = check_gradient(&a, |t, x| {
-        let b = t.input(Tensor::from_vec(seq(12, |i| (i as f32 * 0.29).sin()), &[3, 4]));
+        let b = t.input(Tensor::from_vec(
+            seq(12, |i| (i as f32 * 0.29).sin()),
+            &[3, 4],
+        ));
         let y = t.matmul(x, b);
         let y = t.mul(y, y);
         t.mean_all(y)
@@ -47,7 +50,10 @@ fn grad_matmul_both_sides() {
     assert!(err < TOL, "lhs err {err}");
     let b0 = x(&seq(12, |i| (i as f32 * 0.29).sin()), &[3, 4]);
     let err = check_gradient(&b0, |t, x| {
-        let a = t.input(Tensor::from_vec(seq(6, |i| (i as f32 * 0.53).cos()), &[2, 3]));
+        let a = t.input(Tensor::from_vec(
+            seq(6, |i| (i as f32 * 0.53).cos()),
+            &[2, 3],
+        ));
         let y = t.matmul(a, x);
         let y = t.mul(y, y);
         t.mean_all(y)
@@ -59,7 +65,10 @@ fn grad_matmul_both_sides() {
 fn grad_matmul_t() {
     let a = x(&seq(6, |i| (i as f32 * 0.41).sin()), &[2, 3]);
     let err = check_gradient(&a, |t, x| {
-        let b = t.input(Tensor::from_vec(seq(12, |i| (i as f32 * 0.31).cos()), &[4, 3]));
+        let b = t.input(Tensor::from_vec(
+            seq(12, |i| (i as f32 * 0.31).cos()),
+            &[4, 3],
+        ));
         let y = t.matmul_t(x, b);
         let y = t.mul(y, y);
         t.sum_all(y)
@@ -104,7 +113,10 @@ fn grad_softmax() {
     let err = check_gradient(&a, |t, x| {
         let y = t.softmax(x);
         // A non-symmetric functional of the softmax rows.
-        let w = t.input(Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5, 1.5, -1.0], &[2, 3]));
+        let w = t.input(Tensor::from_vec(
+            vec![1.0, -2.0, 3.0, 0.5, 1.5, -1.0],
+            &[2, 3],
+        ));
         let y = t.mul(y, w);
         t.sum_all(y)
     });
@@ -125,7 +137,10 @@ fn grad_layer_norm_input_gamma_beta() {
         let g = t.input(Tensor::from_vec(vec![1.0, 0.5, 2.0, -1.0], &[4]));
         let b = t.input(Tensor::from_vec(vec![0.1, -0.2, 0.0, 0.3], &[4]));
         let y = t.layer_norm(x, g, b, 1e-5);
-        let w = t.input(Tensor::from_vec(seq(8, |i| (i as f32 * 0.17).cos()), &[2, 4]));
+        let w = t.input(Tensor::from_vec(
+            seq(8, |i| (i as f32 * 0.17).cos()),
+            &[2, 4],
+        ));
         let y = t.mul(y, w);
         t.sum_all(y)
     });
@@ -133,10 +148,16 @@ fn grad_layer_norm_input_gamma_beta() {
     // Gamma gradient.
     let g0 = x(&[1.0, 0.5, 2.0, -1.0], &[4]);
     let err = check_gradient(&g0, |t, g| {
-        let xv = t.input(Tensor::from_vec(seq(8, |i| (i as f32 * 0.77).sin() + 0.2), &[2, 4]));
+        let xv = t.input(Tensor::from_vec(
+            seq(8, |i| (i as f32 * 0.77).sin() + 0.2),
+            &[2, 4],
+        ));
         let b = t.input(Tensor::zeros(&[4]));
         let y = t.layer_norm(xv, g, b, 1e-5);
-        let w = t.input(Tensor::from_vec(seq(8, |i| (i as f32 * 0.17).cos()), &[2, 4]));
+        let w = t.input(Tensor::from_vec(
+            seq(8, |i| (i as f32 * 0.17).cos()),
+            &[2, 4],
+        ));
         let y = t.mul(y, w);
         t.sum_all(y)
     });
@@ -150,7 +171,10 @@ fn grad_batch_norm_input() {
         let g = t.input(Tensor::from_vec(vec![1.0, 2.0, 0.5], &[3]));
         let b = t.input(Tensor::from_vec(vec![0.0, 0.1, -0.1], &[3]));
         let (y, _, _) = t.batch_norm(x, g, b, 1e-5);
-        let w = t.input(Tensor::from_vec(seq(12, |i| (i as f32 * 0.23).cos()), &[4, 3]));
+        let w = t.input(Tensor::from_vec(
+            seq(12, |i| (i as f32 * 0.23).cos()),
+            &[4, 3],
+        ));
         let y = t.mul(y, w);
         t.sum_all(y)
     });
@@ -191,9 +215,15 @@ fn grad_conv2d_input_and_weight() {
         stride: 2,
         padding: 1,
     };
-    let input = x(&seq(2 * 2 * 5 * 5, |i| (i as f32 * 0.19).sin()), &[2, 2 * 5 * 5]);
+    let input = x(
+        &seq(2 * 2 * 5 * 5, |i| (i as f32 * 0.19).sin()),
+        &[2, 2 * 5 * 5],
+    );
     let err = check_gradient(&input, |t, x| {
-        let w = t.input(Tensor::from_vec(seq(3 * 18, |i| (i as f32 * 0.27).cos()), &[3, 18]));
+        let w = t.input(Tensor::from_vec(
+            seq(3 * 18, |i| (i as f32 * 0.27).cos()),
+            &[3, 18],
+        ));
         let y = t.conv2d(x, w, spec, 2, 5, 5);
         let y = t.mul(y, y);
         t.mean_all(y)
@@ -237,7 +267,10 @@ fn grad_full_lstm_step_composition() {
     let err = check_gradient(&xin, |t, x| {
         let h0 = t.input(Tensor::from_vec(seq(3, |i| i as f32 * 0.1), &[1, 3]));
         let c0 = t.input(Tensor::from_vec(seq(3, |i| 0.2 - i as f32 * 0.1), &[1, 3]));
-        let w = t.input(Tensor::from_vec(seq(12 * 7, |i| (i as f32 * 0.05).sin() * 0.4), &[12, 7]));
+        let w = t.input(Tensor::from_vec(
+            seq(12 * 7, |i| (i as f32 * 0.05).sin() * 0.4),
+            &[12, 7],
+        ));
         let xh = t.concat_cols(&[x, h0]);
         let z = t.matmul_t(xh, w);
         let i = t.slice_cols(z, 0, 3);
@@ -287,7 +320,10 @@ fn grad_scale_reshape_meanall() {
 fn grad_add_row_bias() {
     let bias = x(&[0.3, -0.4, 0.5], &[3]);
     let err = check_gradient(&bias, |t, b| {
-        let xv = t.input(Tensor::from_vec(seq(6, |i| (i as f32 * 0.37).cos()), &[2, 3]));
+        let xv = t.input(Tensor::from_vec(
+            seq(6, |i| (i as f32 * 0.37).cos()),
+            &[2, 3],
+        ));
         let y = t.add_row(xv, b);
         let y = t.mul(y, y);
         t.sum_all(y)

@@ -2,6 +2,7 @@
 //! `af-nn`'s `Conv2d` layer used by the mini-ResNet.
 
 use crate::tensor::Tensor;
+use adaptivfloat::par;
 
 /// Static description of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,35 +75,65 @@ pub fn im2col(
     assert_eq!(input.len(), batch * c * h * w, "input size mismatch");
     assert_eq!(c, spec.in_channels, "channel mismatch");
     let (oh, ow) = spec.output_hw(h, w);
-    let k = spec.kernel;
     let patch = spec.patch_len();
     let mut out = vec![0.0f32; batch * oh * ow * patch];
     let data = input.data();
-    for b in 0..batch {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((b * oh + oy) * ow + ox) * patch;
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let src = ((b * c + ch) * h + iy as usize) * w + ix as usize;
-                            let dst = row + (ch * k + ky) * k + kx;
-                            out[dst] = data[src];
-                        }
+    // One strip = the `ow` patches of one output row of one image; strips
+    // are disjoint in the output, so they fan out across threads freely
+    // (col2im cannot: its scatter-adds overlap, so it stays serial).
+    let strip_len = ow * patch;
+    if strip_len > 0 {
+        let n_strips = batch * oh;
+        let strips_per = if par::parallelism_worthwhile(out.len()) {
+            n_strips.div_ceil(par::num_threads()).max(1)
+        } else {
+            n_strips.max(1)
+        };
+        par::par_chunks_mut(&mut out, strips_per * strip_len, |ci, chunk| {
+            for (r, strip) in chunk.chunks_mut(strip_len).enumerate() {
+                let idx = ci * strips_per + r;
+                im2col_strip(data, strip, idx / oh, idx % oh, c, h, w, spec);
+            }
+        });
+    }
+    Tensor::from_vec(out, &[batch * oh * ow, patch])
+}
+
+/// Fill one im2col strip: all `ow` patches of output row `oy` of image
+/// `b`. `strip` comes zeroed (padding stays zero).
+#[allow(clippy::too_many_arguments)]
+fn im2col_strip(
+    data: &[f32],
+    strip: &mut [f32],
+    b: usize,
+    oy: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+) {
+    let k = spec.kernel;
+    let patch = spec.patch_len();
+    let ow = strip.len() / patch;
+    for ox in 0..ow {
+        let row = ox * patch;
+        for ch in 0..c {
+            for ky in 0..k {
+                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue; // zero padding
+                }
+                for kx in 0..k {
+                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
                     }
+                    let src = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                    strip[row + (ch * k + ky) * k + kx] = data[src];
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[batch * oh * ow, patch])
 }
 
 /// Scatter-add the patch-matrix gradient back to the input layout —
@@ -227,12 +258,16 @@ mod tests {
         let s = spec(2, 3, 3, 2, 1);
         let (b, c, h, w) = (2, 2, 5, 5);
         let x = Tensor::from_vec(
-            (0..b * c * h * w).map(|i| ((i * 37 % 17) as f32) - 8.0).collect(),
+            (0..b * c * h * w)
+                .map(|i| ((i * 37 % 17) as f32) - 8.0)
+                .collect(),
             &[b, c * h * w],
         );
         let cols = im2col(&x, b, c, h, w, &s);
         let y = Tensor::from_vec(
-            (0..cols.len()).map(|i| ((i * 13 % 11) as f32) - 5.0).collect(),
+            (0..cols.len())
+                .map(|i| ((i * 13 % 11) as f32) - 5.0)
+                .collect(),
             cols.shape(),
         );
         let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();

@@ -1,6 +1,90 @@
 //! The dense row-major [`Tensor`] type and its core operations.
 
+use adaptivfloat::par;
 use std::fmt;
+
+/// Depth-tile size for the blocked matmul kernel: one `KC × NC` tile of
+/// the right-hand matrix (256 KiB) stays L2-resident while every row of
+/// the left block streams against it.
+const KC: usize = 128;
+/// Column-tile size: one output-row tile (`NC` f32, 2 KiB) stays in L1
+/// across the whole depth tile.
+const NC: usize = 512;
+/// Products below this many multiply-accumulates run serially — thread
+/// spawn cost dominates under ~2ⁱ⁸ MACs (≈ a 64³ matmul).
+const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Rows per parallel block: the whole matrix (one chunk → serial) when
+/// the product is small, otherwise an even split across threads.
+fn par_row_block(m: usize, k: usize, n: usize) -> usize {
+    let macs = m * k * n;
+    if par::num_threads() == 1 || macs < PAR_MIN_MACS {
+        m.max(1)
+    } else {
+        m.div_ceil(par::num_threads()).max(1)
+    }
+}
+
+/// Blocked i-k-j product of a row block: `out_rows += a_rows · b` where
+/// `a_rows` is `rows × k`, `b` is `k × n`, `out_rows` is `rows × n` (all
+/// row-major, `out_rows` pre-zeroed, `n > 0`). Accumulation order per
+/// output element is ascending `k`, identical to the naive loop, so
+/// results are bit-identical at any tile size or thread count.
+fn matmul_rows_kernel(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    let rows = out_rows.len() / n;
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + KC).min(k);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + NC).min(n);
+            for i in 0..rows {
+                let a_row = &a_rows[i * k + k0..i * k + k1];
+                let out_row = &mut out_rows[i * n + j0..i * n + j1];
+                for (p, &a) in a_row.iter().enumerate() {
+                    let b_row = &b[(k0 + p) * n + j0..(k0 + p) * n + j1];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += a * bv;
+                    }
+                }
+            }
+            j0 = j1;
+        }
+        k0 = k1;
+    }
+}
+
+/// Four-lane dot product; the independent accumulators break the serial
+/// FP-add dependency chain so the loop can saturate the FMA pipes.
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut ai = a.chunks_exact(4);
+    let mut bi = b.chunks_exact(4);
+    for (ca, cb) in (&mut ai).zip(&mut bi) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let tail: f32 = ai
+        .remainder()
+        .iter()
+        .zip(bi.remainder())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Row block of `a · bᵀ`: both operands have row length `k`; every output
+/// element is an independent dot product (`n > 0`).
+fn matmul_t_rows_kernel(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    for (i, out_row) in out_rows.chunks_mut(n).enumerate() {
+        let a_row = &a_rows[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot4(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
 
 /// A dense, row-major `f32` tensor of arbitrary rank (rank 1 and 2 are the
 /// common cases in this workspace).
@@ -206,18 +290,14 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if n > 0 {
+            let rows_per = par_row_block(m, k, n);
+            par::par_chunks_mut(&mut out, rows_per * n, |ci, out_chunk| {
+                let row0 = ci * rows_per;
+                let rows = out_chunk.len() / n;
+                let a_rows = &self.data[row0 * k..(row0 + rows) * k];
+                matmul_rows_kernel(a_rows, &other.data, out_chunk, k, n);
+            });
         }
         Tensor::from_vec(out, &[m, n])
     }
@@ -262,16 +342,14 @@ impl Tensor {
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_t inner dims: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
+        if n > 0 {
+            let rows_per = par_row_block(m, k, n);
+            par::par_chunks_mut(&mut out, rows_per * n, |ci, out_chunk| {
+                let row0 = ci * rows_per;
+                let rows = out_chunk.len() / n;
+                let a_rows = &self.data[row0 * k..(row0 + rows) * k];
+                matmul_t_rows_kernel(a_rows, &other.data, out_chunk, k, n);
+            });
         }
         Tensor::from_vec(out, &[m, n])
     }

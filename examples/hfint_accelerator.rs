@@ -51,8 +51,12 @@ fn main() {
     }
     // --- bit-accurate datapath ---
     let fmt = AdaptivFloat::new(8, 3).expect("valid format");
-    let wv: Vec<f32> = (0..256).map(|i| ((i * 31 % 61) as f32 - 30.0) * 0.03).collect();
-    let av: Vec<f32> = (0..256).map(|i| ((i * 17 % 53) as f32 - 26.0) * 0.02).collect();
+    let wv: Vec<f32> = (0..256)
+        .map(|i| ((i * 31 % 61) as f32 - 30.0) * 0.03)
+        .collect();
+    let av: Vec<f32> = (0..256)
+        .map(|i| ((i * 17 % 53) as f32 - 26.0) * 0.02)
+        .collect();
     let wp = fmt.params_for(&wv);
     let ap = fmt.params_for(&av);
     let wc: Vec<u32> = wv.iter().map(|&v| fmt.encode_with(&wp, v)).collect();

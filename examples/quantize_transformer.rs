@@ -21,7 +21,10 @@ fn main() {
     let snapshot = model.snapshot();
 
     println!("post-training quantization (all layers, including embeddings):");
-    println!("{:<14} {:>7} {:>7} {:>7}", "format", "8-bit", "6-bit", "4-bit");
+    println!(
+        "{:<14} {:>7} {:>7} {:>7}",
+        "format", "8-bit", "6-bit", "4-bit"
+    );
     for kind in FormatKind::ALL {
         let mut row = format!("{:<14}", kind.label());
         for bits in [8u32, 6, 4] {

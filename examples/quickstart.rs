@@ -13,7 +13,10 @@ fn main() -> Result<(), adaptivfloat::FormatError> {
         .chain([6.3f32, -5.1])
         .collect();
     let stats = TensorStats::from_slice(&weights);
-    println!("tensor: {} values, range [{:.2}, {:.2}]\n", stats.count, stats.min, stats.max);
+    println!(
+        "tensor: {} values, range [{:.2}, {:.2}]\n",
+        stats.count, stats.min, stats.max
+    );
 
     // --- AdaptivFloat<8,3>: Algorithm 1 in three lines ---
     let fmt = AdaptivFloat::new(8, 3)?;

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Snapshot the kernel micro-bench medians into BENCH_kernels.json.
+#
+# Runs the `quantize_kernels` bench twice — once pinned to a single
+# thread (AF_NUM_THREADS=1, isolating the kernel speedups) and once with
+# the default thread count (adding the scoped-thread fan-out) — then
+# assembles the per-bench JSON records the vendored criterion shim emits
+# (via AF_BENCH_JSON) into one machine-readable snapshot with the commit
+# and thread counts attached.
+#
+# Usage: scripts/bench_snapshot.sh [bench-name-filter]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+OUT="BENCH_kernels.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+run_bench() { # <threads ('' = default)> <records-file>
+    AF_NUM_THREADS="$1" AF_BENCH_JSON="$2" \
+        cargo bench -q -p af-bench --bench quantize_kernels -- ${FILTER:+"$FILTER"}
+}
+
+echo "== single-thread run (AF_NUM_THREADS=1) =="
+run_bench 1 "$TMP_DIR/t1.jsonl"
+echo
+echo "== default-threads run =="
+run_bench "" "$TMP_DIR/all.jsonl"
+
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+HOST_THREADS="$(nproc 2>/dev/null || echo 1)"
+
+COMMIT="$COMMIT" HOST_THREADS="$HOST_THREADS" TMP_DIR="$TMP_DIR" OUT="$OUT" \
+python3 - <<'PY'
+import json, os
+
+tmp, out = os.environ["TMP_DIR"], os.environ["OUT"]
+
+def load(path):
+    with open(path) as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+t1 = load(os.path.join(tmp, "t1.jsonl"))
+allt = load(os.path.join(tmp, "all.jsonl"))
+
+def median_ns(records, name):
+    for r in records:
+        if r["name"] == name:
+            return r["median_ns"]
+    return None
+
+fast = median_ns(t1, "adaptivfloat_1m/fast/8")
+ref = median_ns(t1, "adaptivfloat_1m/reference/8")
+speedup = round(ref / fast, 2) if fast and ref else None
+
+snapshot = {
+    "commit": os.environ["COMMIT"],
+    "host_threads": int(os.environ["HOST_THREADS"]),
+    "single_thread_speedup_adaptivfloat8_1m": speedup,
+    "runs": [
+        {"threads": 1, "benches": t1},
+        {"threads": int(os.environ["HOST_THREADS"]), "benches": allt},
+    ],
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=1)
+    f.write("\n")
+
+print(f"wrote {out} ({len(t1)} + {len(allt)} bench records)")
+if speedup is not None:
+    print(f"single-thread fast vs reference (AdaptivFloat<8,3>, 1M elems): {speedup}x")
+PY

@@ -53,7 +53,10 @@ fn weight_and_activation_quantization_8bit_works() {
     model.set_act_quantizer(Some(q));
     model.train_steps(10); // brief QAR with observers live
     let w8a8 = model.evaluate(60);
-    assert!(w8a8 >= fp32 - 10.0, "W8/A8 dropped too far: {fp32} → {w8a8}");
+    assert!(
+        w8a8 >= fp32 - 10.0,
+        "W8/A8 dropped too far: {fp32} → {w8a8}"
+    );
 }
 
 #[test]

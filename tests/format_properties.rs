@@ -105,7 +105,7 @@ proptest! {
     #[test]
     fn ieee_like_fixed_points(n in 4u32..=10, e_off in 0u32..=2) {
         let e = 3 + e_off;
-        prop_assume!(e <= n - 1);
+        prop_assume!(e < n);
         let f = IeeeLikeFloat::new(n, e).expect("valid");
         for code in 0..(1u32 << n) {
             let v = f.decode(code);

@@ -1,0 +1,333 @@
+//! Offline stand-in for the subset of the `criterion` bench API this
+//! workspace uses: `Criterion`, `criterion_group!`/`criterion_main!`,
+//! `bench_function`, benchmark groups with `Throughput`, and
+//! `Bencher::iter`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This harness measures wall-clock medians over
+//! `sample_size` samples (each auto-calibrated to a target batch time) and
+//! prints one line per bench. When the `AF_BENCH_JSON` environment
+//! variable names a file, a JSON object per bench is appended to it —
+//! `scripts/bench_snapshot.sh` builds `BENCH_kernels.json` from those
+//! records.
+//!
+//! Command-line behavior matches what cargo passes to `harness = false`
+//! targets: `--bench` is accepted and ignored, `--test` switches to a
+//! one-iteration smoke run (so `cargo test --benches` stays fast), and a
+//! positional argument filters benches by substring.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement batch.
+const TARGET_BATCH: Duration = Duration::from_millis(8);
+
+/// The bench harness configuration and registry.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            filter: None,
+            smoke: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each bench collects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Apply command-line arguments (bench filter, `--test` smoke mode).
+    /// Called by the `criterion_group!` expansion.
+    pub fn configure_from_args(&mut self) {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => self.smoke = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_bench(name.to_string(), None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks sharing a throughput setting.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn run_bench<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.smoke {
+            f(&mut b);
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        // Calibrate: grow the batch size until one batch takes long
+        // enough to time reliably.
+        loop {
+            f(&mut b);
+            if b.elapsed >= TARGET_BATCH / 2 || b.iters >= 1 << 28 {
+                break;
+            }
+            let estimate =
+                (TARGET_BATCH.as_nanos() * b.iters as u128 / b.elapsed.as_nanos().max(1)) as u64;
+            b.iters = estimate.clamp(b.iters * 2, b.iters * 16);
+        }
+        let iters = b.iters;
+        let mut samples_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mut line = format!(
+            "{name:<52} time: [{}]  ({} samples x {iters} iters)",
+            fmt_ns(median),
+            self.sample_size
+        );
+        let mut elements = None;
+        if let Some(Throughput::Elements(n)) = throughput {
+            elements = Some(n);
+            line.push_str(&format!("  thrpt: {:.3} ns/elem", median / n as f64));
+        }
+        println!("{line}");
+        write_json_record(&name, median, elements, self.sample_size, iters);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn write_json_record(
+    name: &str,
+    median_ns: f64,
+    elements: Option<u64>,
+    samples: usize,
+    iters: u64,
+) {
+    let Ok(path) = std::env::var("AF_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let ns_per_elem = elements
+        .map(|n| format!("{:.6}", median_ns / n as f64))
+        .unwrap_or_else(|| "null".to_string());
+    let elements = elements
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| "null".to_string());
+    let record = format!(
+        "{{\"name\":\"{}\",\"median_ns\":{:.3},\"elements\":{},\"ns_per_elem\":{},\"samples\":{},\"iters_per_sample\":{}}}\n",
+        name.replace('"', "'"),
+        median_ns,
+        elements,
+        ns_per_elem,
+        samples,
+        iters
+    );
+    if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = file.write_all(record.as_bytes());
+    }
+}
+
+/// A group of related benchmarks (shared name prefix and throughput).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work volume used to report throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the sample count for the remaining benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        let throughput = self.throughput;
+        self.criterion.run_bench(name, throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        let throughput = self.throughput;
+        self.criterion.run_bench(name, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one bench inside a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work volume per iteration, used for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to each bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a bench group: either `criterion_group!(name, target, ...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, numeric range
+//! strategies, and `prop::collection::vec`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This implementation keeps the same test-source
+//! syntax and generates random cases deterministically (seeded from the
+//! test's module path and name), but does **not** shrink failing inputs —
+//! the failing case is printed verbatim instead. Case count defaults to
+//! 64 and can be raised with the `PROPTEST_CASES` environment variable.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+
+/// Strategy combinators grouped under the `prop::` path proptest users
+/// know (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size, `lo..hi`, or
+    /// `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_incl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The per-test random source and its seeding.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic RNG used to generate test cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seed from a test's fully qualified name so every property test
+        /// gets a stable, distinct stream.
+        pub fn seed_from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// How one generated case ended short of success.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert!`-family failure: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejection: the inputs don't apply; skip the case.
+        Reject,
+    }
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests.
+///
+/// Each function body runs once per generated case; `prop_assert!`-family
+/// macros abort the case with a message instead of panicking directly so
+/// the harness can report the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::seed_from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut case = 0;
+                let mut rejected = 0usize;
+                while case < cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => case += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {
+                            rejected += 1;
+                            // Mirror proptest's global rejection cap so a
+                            // too-strict prop_assume! fails loudly instead
+                            // of spinning forever.
+                            assert!(
+                                rejected < 16 * cases.max(64),
+                                "property `{}`: too many prop_assume! rejections ({})",
+                                stringify!($name),
+                                rejected,
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "property `{}` failed at case {}/{}: {}\ninputs: {:#?}",
+                                stringify!($name),
+                                case + 1,
+                                cases,
+                                message,
+                                ($(&$arg,)+),
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` != `{:?}`", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    lhs,
+                    rhs,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` == `{:?}`", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    lhs,
+                    rhs,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}

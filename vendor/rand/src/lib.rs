@@ -1,0 +1,249 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `Rng::gen_range` / `gen_bool`, `SeedableRng::seed_from_u64`, and
+//! `rngs::StdRng`.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `rand` crate cannot be fetched. This crate keeps the exact
+//! call-site surface (trait names, module paths, method signatures) while
+//! backing `StdRng` with xoshiro256++ seeded through SplitMix64. Streams
+//! differ from upstream `rand`'s ChaCha-based `StdRng`, but every consumer
+//! in this workspace only relies on determinism-under-seed and uniformity,
+//! not on specific values.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (top half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A deterministic generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a single `u64` seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform distribution over a bounded range.
+///
+/// The blanket `SampleRange` impls below tie the range's element type to
+/// the sampled type, which is what lets call sites like
+/// `let x: f32 = rng.gen_range(-1.0..1.0);` infer the literal type from
+/// surrounding context (the same inference shape as upstream `rand`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `lo..hi`.
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from `lo..=hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        assert!(lo < hi, "cannot sample empty range");
+        loop {
+            // 24 random bits give every representable step of [0, 1).
+            let frac = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            let v = lo + (hi - lo) * frac;
+            if v < hi {
+                return v;
+            }
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        assert!(lo <= hi, "cannot sample empty range");
+        let frac = (rng.next_u32() >> 8) as f32 / ((1u32 << 24) - 1) as f32;
+        (lo + (hi - lo) * frac).clamp(lo, hi)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        loop {
+            let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let v = lo + (hi - lo) * frac;
+            if v < hi {
+                return v;
+            }
+        }
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        assert!(lo <= hi, "cannot sample empty range");
+        let frac = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        (lo + (hi - lo) * frac).clamp(lo, hi)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman &
+    /// Vigna), seeded via SplitMix64. Fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&v));
+            let i = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&i));
+            let j = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}
