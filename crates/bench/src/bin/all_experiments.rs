@@ -20,5 +20,6 @@ fn main() {
     println!("{}\n", af_bench::table4::run(quick).rendered);
     println!("{}\n", af_bench::ablations::run(quick).rendered);
     println!("{}\n", af_bench::extensions::run(quick).rendered);
+    println!("{}\n", af_bench::resilience::run(quick).rendered);
     println!("total wall-clock: {:.1?} ", t0.elapsed());
 }

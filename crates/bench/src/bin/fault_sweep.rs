@@ -1,0 +1,22 @@
+//! Run the fault-injection sweep and write `BENCH_resilience.json`.
+//!
+//! Usage: `cargo run --release -p af-bench --bin fault_sweep [--quick] [--out PATH]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_resilience.json".to_string());
+    let sweep = af_bench::resilience::run(quick);
+    println!("{}", sweep.rendered);
+    std::fs::write(&out, &sweep.json).expect("write BENCH_resilience.json");
+    println!(
+        "\nwrote {out} ({} storage cells, {} end-task cells)",
+        sweep.storage.len(),
+        sweep.end_task.len()
+    );
+}

@@ -22,6 +22,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod render;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -14,9 +14,10 @@
 //!   (`exp_bias = exp_max − (2^e − 1)` with
 //!   `2^exp_max ≤ max|W| < 2^(exp_max+1)`).
 
+use crate::decode::{DecodePolicy, DecodeStats};
 use crate::error::FormatError;
 use crate::format::NumberFormat;
-use crate::pack::BitPacker;
+use crate::pack::PackedCodes;
 use crate::util::{exp2, floor_log2};
 
 /// The AdaptivFloat `<n, e>` format descriptor.
@@ -284,11 +285,37 @@ impl AdaptivFloat {
         (sign * exp2(exp) * mant) as f32
     }
 
+    /// Decode an `n`-bit pattern under a [`DecodePolicy`].
+    ///
+    /// Unlike [`decode_with`](Self::decode_with) this accepts arbitrary
+    /// `u32` patterns (bits above the word width are masked off, as a
+    /// hardware decoder's field extraction would) and, under
+    /// [`DecodePolicy::Harden`], repairs decodes that leave the format's
+    /// representable envelope — which a valid `(params, code)` pair never
+    /// does, but a corrupted `exp_bias` register can (pushing `2^exp`
+    /// past f32 infinity). Every decode and repair is counted in
+    /// `stats`.
+    pub fn decode_with_policy(
+        &self,
+        params: &AdaptivParams,
+        bits: u32,
+        policy: DecodePolicy,
+        stats: &mut DecodeStats,
+    ) -> f32 {
+        let mask = if self.n == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n) - 1
+        };
+        let v = self.decode_with(params, bits & mask);
+        stats.guard(policy, params.value_max() as f32, v)
+    }
+
     /// Quantize a whole tensor: derive parameters, then quantize each
     /// element (this is exactly Algorithm 1 of the paper).
     pub fn quantize_tensor(&self, data: &[f32]) -> QuantizedTensor {
         let params = self.params_for(data);
-        let mut packer = BitPacker::new(self.n);
+        let mut packer = PackedCodes::new(self.n);
         for &v in data {
             packer.push(self.encode_with(&params, v) as u64);
         }
@@ -353,7 +380,7 @@ impl NumberFormat for AdaptivFloat {
 pub struct QuantizedTensor {
     format: AdaptivFloat,
     params: AdaptivParams,
-    codes: BitPacker,
+    codes: PackedCodes,
 }
 
 impl QuantizedTensor {
@@ -398,6 +425,31 @@ impl QuantizedTensor {
     /// Decode the whole tensor.
     pub fn dequantize(&self) -> Vec<f32> {
         (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Decode the whole tensor under a [`DecodePolicy`], returning the
+    /// values and the per-tensor corruption counters.
+    pub fn dequantize_with_policy(&self, policy: DecodePolicy) -> (Vec<f32>, DecodeStats) {
+        let mut stats = DecodeStats::new();
+        let vals = (0..self.len())
+            .map(|i| {
+                self.format
+                    .decode_with_policy(&self.params, self.code(i), policy, &mut stats)
+            })
+            .collect();
+        (vals, stats)
+    }
+
+    /// Read-only view of the packed code storage.
+    pub fn codes(&self) -> &PackedCodes {
+        &self.codes
+    }
+
+    /// Mutable view of the packed code storage — the surface a fault
+    /// campaign corrupts, exactly as a bit upset in a hardware weight
+    /// buffer would.
+    pub fn codes_mut(&mut self) -> &mut PackedCodes {
+        &mut self.codes
     }
 
     /// Storage footprint of the packed codes in bytes (excluding the

@@ -7,9 +7,10 @@
 //! hardware — and what degrades small-magnitude elements, the weakness the
 //! paper demonstrates on wide NLP weight distributions.
 
+use crate::decode::{DecodePolicy, DecodeStats};
 use crate::error::FormatError;
 use crate::format::NumberFormat;
-use crate::util::{exp2, floor_log2};
+use crate::util::{exp2, floor_log2, from_twos_complement, to_twos_complement};
 
 /// Block floating-point format descriptor.
 ///
@@ -89,6 +90,53 @@ impl BlockFloat {
         } else {
             floor_log2(max_abs as f64)
         }
+    }
+
+    /// Largest mantissa level, `2^(n−2) − 1`.
+    fn mant_max(&self) -> i64 {
+        (1i64 << (self.n - 2)) - 1
+    }
+
+    /// The mantissa grid step for shared exponent `e`, `2^(E − n + 3)`.
+    fn scale_at(&self, e: i32) -> f64 {
+        exp2(e - self.n as i32 + 3)
+    }
+
+    /// Encode one element against a fixed shared exponent as an `n`-bit
+    /// two's-complement mantissa word — what the weight buffer stores
+    /// next to the block's exponent.
+    pub fn encode_code(&self, e: i32, v: f32) -> u32 {
+        if v.is_nan() {
+            return 0;
+        }
+        let q = ((v as f64) / self.scale_at(e)).round() as i64;
+        to_twos_complement(q.clamp(-self.mant_max(), self.mant_max()), self.n)
+    }
+
+    /// Decode an `n`-bit mantissa word against a shared exponent, exactly
+    /// as the bits say (a corrupted word may decode outside the mantissa
+    /// clamp range).
+    pub fn decode_code(&self, e: i32, code: u32) -> f32 {
+        (from_twos_complement(code, self.n) as f64 * self.scale_at(e)) as f32
+    }
+
+    /// Decode an `n`-bit mantissa word under a [`DecodePolicy`].
+    ///
+    /// Under [`DecodePolicy::Harden`], mantissa levels outside the
+    /// quantizer's clamp range (`±(2^(n−2) − 1)` — reachable only via
+    /// corruption, e.g. the unused `−2^(n−1)` extreme) clamp back to it,
+    /// and a corrupted shared exponent that overflows `f32` repairs to
+    /// `0.0`; both are counted in `stats`.
+    pub fn decode_code_with_policy(
+        &self,
+        e: i32,
+        code: u32,
+        policy: DecodePolicy,
+        stats: &mut DecodeStats,
+    ) -> f32 {
+        let v = self.decode_code(e, code);
+        let max_abs = (self.mant_max() as f64 * self.scale_at(e)) as f32;
+        stats.guard(policy, max_abs, v)
     }
 
     /// Quantize one element against a fixed shared exponent.

@@ -1,0 +1,154 @@
+//! Hardened decode policies for corrupted codes.
+//!
+//! A bit upset in a weight buffer or a parameter register turns a valid
+//! code into an arbitrary one. Every format in this crate decodes every
+//! bit pattern to *some* value, but a corrupted pattern can still be
+//! poisonous downstream: a posit NaR decodes to NaN, a flipped
+//! `exp_bias` register can push an AdaptivFloat decode to ±∞ in `f32`,
+//! an integer level can escape the symmetric range. [`DecodePolicy`]
+//! selects between the raw decode (faithful to the bits, garbage
+//! included) and a hardened decode that detects and repairs such codes
+//! at the decoder boundary — the cheap "clamp at the output mux"
+//! hardening a resilient PE would implement — while counting every
+//! repair in a [`DecodeStats`] so campaigns can report detection rates.
+
+/// How a decoder treats suspicious codes and parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecodePolicy {
+    /// Trust the bits: decode exactly what they say. NaN/Inf and
+    /// out-of-range magnitudes propagate into the tensor.
+    Raw,
+    /// Detect-and-repair: non-finite decodes (posit NaR, overflowed
+    /// exponent arithmetic) become `0.0`, magnitudes beyond the format's
+    /// representable maximum clamp to it (sign preserved), and integer
+    /// levels beyond the symmetric range clamp to the extreme level.
+    /// Every repair increments a [`DecodeStats`] counter.
+    #[default]
+    Harden,
+}
+
+impl DecodePolicy {
+    /// Short label for reports: `"raw"` or `"harden"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecodePolicy::Raw => "raw",
+            DecodePolicy::Harden => "harden",
+        }
+    }
+}
+
+impl std::fmt::Display for DecodePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-tensor corruption counters accumulated by hardened decodes.
+///
+/// The counters are *detections*, not injected-fault counts: a flipped
+/// mantissa bit yields a perfectly valid nearby code and is invisible
+/// here, while exponent/special-pattern upsets are caught. Comparing
+/// `repaired()` against a campaign's injected-fault count measures the
+/// decoder's detection coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeStats {
+    /// Codes decoded in total.
+    pub decoded: u64,
+    /// Decodes that produced NaN/±∞ (or a special not-a-real pattern)
+    /// and were repaired to `0.0`.
+    pub nonfinite: u64,
+    /// Decodes whose magnitude exceeded the format's representable
+    /// range and were clamped to the extreme (sign preserved).
+    pub out_of_range: u64,
+}
+
+impl DecodeStats {
+    /// Fresh all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of repaired (detected-corrupt) decodes.
+    pub fn repaired(&self) -> u64 {
+        self.nonfinite + self.out_of_range
+    }
+
+    /// Merge another tensor's counters into this one.
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.decoded += other.decoded;
+        self.nonfinite += other.nonfinite;
+        self.out_of_range += other.out_of_range;
+    }
+
+    /// Apply the policy's finite/range repair to a decoded value:
+    /// under [`DecodePolicy::Harden`], NaN/±∞ → `0.0` and
+    /// `|v| > max_abs` → `±max_abs`, with the matching counter bumped.
+    /// Under [`DecodePolicy::Raw`] the value passes through (only
+    /// `decoded` is counted).
+    pub fn guard(&mut self, policy: DecodePolicy, max_abs: f32, v: f32) -> f32 {
+        self.decoded += 1;
+        if policy == DecodePolicy::Raw {
+            return v;
+        }
+        if !v.is_finite() {
+            self.nonfinite += 1;
+            return 0.0;
+        }
+        if v.abs() > max_abs {
+            self.out_of_range += 1;
+            return if v < 0.0 { -max_abs } else { max_abs };
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_passes_everything_through() {
+        let mut s = DecodeStats::new();
+        assert!(s.guard(DecodePolicy::Raw, 1.0, f32::NAN).is_nan());
+        assert_eq!(s.guard(DecodePolicy::Raw, 1.0, 5.0), 5.0);
+        assert_eq!(s.decoded, 2);
+        assert_eq!(s.repaired(), 0);
+    }
+
+    #[test]
+    fn harden_repairs_and_counts() {
+        let mut s = DecodeStats::new();
+        assert_eq!(s.guard(DecodePolicy::Harden, 3.0, f32::NAN), 0.0);
+        assert_eq!(s.guard(DecodePolicy::Harden, 3.0, f32::INFINITY), 0.0);
+        assert_eq!(s.guard(DecodePolicy::Harden, 3.0, -7.5), -3.0);
+        assert_eq!(s.guard(DecodePolicy::Harden, 3.0, 2.5), 2.5);
+        assert_eq!(s.decoded, 4);
+        assert_eq!(s.nonfinite, 2);
+        assert_eq!(s.out_of_range, 1);
+        assert_eq!(s.repaired(), 3);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = DecodeStats {
+            decoded: 10,
+            nonfinite: 1,
+            out_of_range: 2,
+        };
+        let b = DecodeStats {
+            decoded: 5,
+            nonfinite: 3,
+            out_of_range: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.decoded, 15);
+        assert_eq!(a.repaired(), 6);
+    }
+
+    #[test]
+    fn default_policy_is_harden() {
+        assert_eq!(DecodePolicy::default(), DecodePolicy::Harden);
+        assert_eq!(DecodePolicy::Harden.to_string(), "harden");
+        assert_eq!(DecodePolicy::Raw.label(), "raw");
+    }
+}

@@ -1,9 +1,10 @@
 //! Classic Qi.f fixed-point — the conventional hardware baseline the
 //! paper's introduction argues against at low precision.
 
+use crate::decode::{DecodePolicy, DecodeStats};
 use crate::error::FormatError;
 use crate::format::NumberFormat;
-use crate::util::exp2;
+use crate::util::{exp2, from_twos_complement, to_twos_complement};
 
 /// Fixed-point format with `n` total bits: 1 sign bit, `i` integer bits
 /// and `f = n − 1 − i` fractional bits, two's-complement, saturating.
@@ -86,6 +87,40 @@ impl FixedPoint {
         let vmax = self.value_max();
         let q = ((v as f64) / step).round() * step;
         (q.clamp(-vmax, vmax)) as f32
+    }
+
+    /// Largest step count, `2^(n−1) − 1` (symmetric saturation).
+    fn level_max(&self) -> i64 {
+        (1i64 << (self.n - 1)) - 1
+    }
+
+    /// Encode one value as an `n`-bit two's-complement step-count word
+    /// (quantizing first).
+    pub fn encode(&self, v: f32) -> u32 {
+        if v.is_nan() {
+            return 0;
+        }
+        let q = ((v as f64) / self.step()).round() as i64;
+        to_twos_complement(q.clamp(-self.level_max(), self.level_max()), self.n)
+    }
+
+    /// Decode an `n`-bit word exactly as the bits say (a corrupted word
+    /// may decode to the unused `−2^(n−1)` extreme).
+    pub fn decode(&self, code: u32) -> f32 {
+        (from_twos_complement(code, self.n) as f64 * self.step()) as f32
+    }
+
+    /// Decode an `n`-bit word under a [`DecodePolicy`]: hardened decodes
+    /// clamp magnitudes beyond [`value_max`](Self::value_max) back to it
+    /// (counted in `stats`); valid symmetric codes pass through.
+    pub fn decode_with_policy(
+        &self,
+        code: u32,
+        policy: DecodePolicy,
+        stats: &mut DecodeStats,
+    ) -> f32 {
+        let v = self.decode(code);
+        stats.guard(policy, self.value_max() as f32, v)
     }
 }
 

@@ -6,6 +6,7 @@
 //! all-ones exponent field is an ordinary top binade and out-of-range
 //! values saturate.
 
+use crate::decode::{DecodePolicy, DecodeStats};
 use crate::error::FormatError;
 use crate::format::NumberFormat;
 use crate::util::{exp2, floor_log2};
@@ -169,6 +170,22 @@ impl IeeeLikeFloat {
             exp2(exp) * (1.0 + mant_field as f64 / exp2(m as i32))
         };
         (sign * v) as f32
+    }
+
+    /// Decode an `n`-bit pattern under a [`DecodePolicy`].
+    ///
+    /// Every bit pattern of this format decodes to a finite in-range
+    /// value (there are no Inf/NaN encodings), so hardening never alters
+    /// the value — but the decode is still counted in `stats`, keeping
+    /// campaign denominators comparable across formats.
+    pub fn decode_with_policy(
+        &self,
+        bits: u32,
+        policy: DecodePolicy,
+        stats: &mut DecodeStats,
+    ) -> f32 {
+        let v = self.decode(bits);
+        stats.guard(policy, self.value_max() as f32, v)
     }
 
     /// Enumerate all representable values, sorted ascending (±0 collapse).

@@ -43,6 +43,7 @@
 pub mod adaptiv;
 pub mod bfp;
 pub mod block_adaptiv;
+pub mod decode;
 pub mod error;
 pub mod fixed;
 pub mod format;
@@ -63,12 +64,13 @@ pub(crate) mod util;
 pub use adaptiv::{AdaptivFloat, AdaptivParams, QuantizedTensor};
 pub use bfp::BlockFloat;
 pub use block_adaptiv::BlockAdaptivFloat;
+pub use decode::{DecodePolicy, DecodeStats};
 pub use error::FormatError;
 pub use fixed::FixedPoint;
 pub use format::{FormatKind, NumberFormat};
 pub use ieee_like::IeeeLikeFloat;
 pub use metrics::{max_abs_error, mean_abs_error, rms_error, sqnr_db};
-pub use pack::BitPacker;
+pub use pack::{BitPacker, PackedCodes};
 pub use posit::Posit;
 pub use stats::TensorStats;
 pub use stochastic::StochasticRounder;

@@ -3,12 +3,18 @@
 
 /// Packs `width`-bit codes back to back into `u64` words.
 ///
+/// This is the in-memory layout the fault-injection subsystem corrupts:
+/// besides append/read access it supports in-place overwrite
+/// ([`set`](PackedCodes::set)) and bit flips
+/// ([`flip_bits`](PackedCodes::flip_bits)), so a seeded fault campaign
+/// can upset exactly the stored bits a hardware weight buffer would hold.
+///
 /// # Examples
 ///
 /// ```
-/// use adaptivfloat::BitPacker;
+/// use adaptivfloat::PackedCodes;
 ///
-/// let mut p = BitPacker::new(4);
+/// let mut p = PackedCodes::new(4);
 /// p.push(0xA);
 /// p.push(0x5);
 /// assert_eq!(p.get(0), 0xA);
@@ -16,13 +22,16 @@
 /// assert_eq!(p.len(), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BitPacker {
+pub struct PackedCodes {
     width: u32,
     len: usize,
     words: Vec<u64>,
 }
 
-impl BitPacker {
+/// Former name of [`PackedCodes`], kept as an alias for existing callers.
+pub type BitPacker = PackedCodes;
+
+impl PackedCodes {
     /// Create a packer for `width`-bit codes.
     ///
     /// # Panics
@@ -30,7 +39,7 @@ impl BitPacker {
     /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32) -> Self {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
-        BitPacker {
+        PackedCodes {
             width,
             len: 0,
             words: Vec::new(),
@@ -52,14 +61,18 @@ impl BitPacker {
         self.len == 0
     }
 
-    /// Append a code. Bits above `width` are masked off.
-    pub fn push(&mut self, code: u64) {
-        let mask = if self.width == 64 {
+    /// The mask selecting the low `width` bits of a code.
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
             u64::MAX
         } else {
             (1u64 << self.width) - 1
-        };
-        let code = code & mask;
+        }
+    }
+
+    /// Append a code. Bits above `width` are masked off.
+    pub fn push(&mut self, code: u64) {
+        let code = code & self.mask();
         let bit_pos = self.len * self.width as usize;
         let word = bit_pos / 64;
         let offset = (bit_pos % 64) as u32;
@@ -82,11 +95,6 @@ impl BitPacker {
     /// Panics if `index >= self.len()`.
     pub fn get(&self, index: usize) -> u64 {
         assert!(index < self.len, "index {index} out of bounds {}", self.len);
-        let mask = if self.width == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.width) - 1
-        };
         let bit_pos = index * self.width as usize;
         let word = bit_pos / 64;
         let offset = (bit_pos % 64) as u32;
@@ -95,7 +103,40 @@ impl BitPacker {
         if spill > 64 {
             code |= self.words[word + 1] << (64 - offset);
         }
-        code & mask
+        code & self.mask()
+    }
+
+    /// Overwrite the code at `index`. Bits above `width` are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, code: u64) {
+        assert!(index < self.len, "index {index} out of bounds {}", self.len);
+        let code = code & self.mask();
+        let bit_pos = index * self.width as usize;
+        let word = bit_pos / 64;
+        let offset = (bit_pos % 64) as u32;
+        self.words[word] &= !(self.mask() << offset);
+        self.words[word] |= code << offset;
+        let spill = offset + self.width;
+        if spill > 64 {
+            let high_bits = spill - 64;
+            let low = 64 - offset; // bits of the code kept in `word`
+            self.words[word + 1] &= !((1u64 << high_bits) - 1);
+            self.words[word + 1] |= code >> low;
+        }
+    }
+
+    /// XOR `mask` (truncated to `width` bits) into the code at `index` —
+    /// the primitive a bit-upset fault model uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn flip_bits(&mut self, index: usize, mask: u64) {
+        let flipped = self.get(index) ^ (mask & self.mask());
+        self.set(index, flipped);
     }
 
     /// Iterate over all stored codes.
@@ -109,7 +150,7 @@ impl BitPacker {
     }
 }
 
-impl Extend<u64> for BitPacker {
+impl Extend<u64> for PackedCodes {
     fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
         for code in iter {
             self.push(code);
@@ -124,7 +165,7 @@ mod tests {
     #[test]
     fn roundtrip_various_widths() {
         for width in [1, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 63, 64] {
-            let mut p = BitPacker::new(width);
+            let mut p = PackedCodes::new(width);
             let mask = if width == 64 {
                 u64::MAX
             } else {
@@ -143,7 +184,7 @@ mod tests {
     #[test]
     fn straddling_word_boundaries() {
         // 7-bit codes: code 9 starts at bit 63 and straddles words 0/1.
-        let mut p = BitPacker::new(7);
+        let mut p = PackedCodes::new(7);
         for i in 0..20 {
             p.push(0x7F - i);
         }
@@ -154,14 +195,67 @@ mod tests {
 
     #[test]
     fn masks_high_bits() {
-        let mut p = BitPacker::new(4);
+        let mut p = PackedCodes::new(4);
         p.push(0xFFFF);
         assert_eq!(p.get(0), 0xF);
     }
 
     #[test]
+    fn set_overwrites_without_disturbing_neighbors() {
+        for width in [1u32, 3, 5, 7, 8, 13, 16, 33, 64] {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let codes: Vec<u64> = (0..150u64)
+                .map(|i| i.wrapping_mul(0xD134_2543_DE82_EF95) & mask)
+                .collect();
+            let mut p = PackedCodes::new(width);
+            p.extend(codes.iter().copied());
+            // Overwrite every third code, then check all of them.
+            let mut expect = codes.clone();
+            for i in (0..codes.len()).step_by(3) {
+                let new = (codes[i] ^ 0x5555_5555_5555_5555) & mask;
+                p.set(i, new);
+                expect[i] = new;
+            }
+            for (i, &c) in expect.iter().enumerate() {
+                assert_eq!(p.get(i), c, "width={width} index={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_straddling_boundary() {
+        // 7-bit code 9 occupies bits 63..70: the straddle case for set.
+        let mut p = PackedCodes::new(7);
+        for i in 0..20u64 {
+            p.push(i);
+        }
+        p.set(9, 0x7F);
+        for i in 0..20u64 {
+            let want = if i == 9 { 0x7F } else { i };
+            assert_eq!(p.get(i as usize), want, "index {i}");
+        }
+    }
+
+    #[test]
+    fn flip_bits_is_involutive() {
+        let mut p = PackedCodes::new(5);
+        for i in 0..40u64 {
+            p.push(i % 32);
+        }
+        let before: Vec<u64> = p.iter().collect();
+        p.flip_bits(7, 0b10010);
+        assert_eq!(p.get(7), 7 ^ 0b10010);
+        p.flip_bits(7, 0b10010);
+        assert_eq!(p.iter().collect::<Vec<_>>(), before);
+    }
+
+    #[test]
     fn packed_bytes_is_tight() {
-        let mut p = BitPacker::new(4);
+        let mut p = PackedCodes::new(4);
         for _ in 0..16 {
             p.push(1);
         }
@@ -172,13 +266,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
-        let p = BitPacker::new(8);
+        let p = PackedCodes::new(8);
         p.get(0);
     }
 
     #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut p = PackedCodes::new(8);
+        p.set(0, 1);
+    }
+
+    #[test]
     fn iter_matches_get() {
-        let mut p = BitPacker::new(5);
+        let mut p = PackedCodes::new(5);
         for i in 0..40 {
             p.push(i % 32);
         }

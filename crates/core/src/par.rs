@@ -24,21 +24,32 @@ pub const PAR_MIN_LEN: usize = 1 << 15;
 ///
 /// `AF_NUM_THREADS` (if set to a positive integer) wins; otherwise
 /// [`std::thread::available_parallelism`], defaulting to 1 if even that
-/// is unavailable. Cached after the first call.
+/// is unavailable. Malformed settings — `0`, negative numbers, empty
+/// strings, non-numeric garbage, or values that overflow `usize` — are
+/// ignored in favor of the detected parallelism: pinning the thread
+/// count is an optimization hint, never a way to crash or to spawn zero
+/// workers. Cached after the first call.
 pub fn num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        if let Ok(v) = std::env::var("AF_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism()
+        let fallback = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1);
+        parse_num_threads(std::env::var("AF_NUM_THREADS").ok().as_deref(), fallback)
     })
+}
+
+/// Resolve an `AF_NUM_THREADS` setting against a detected fallback:
+/// a positive integer (surrounding whitespace tolerated) wins; anything
+/// else — unset, empty, `0`, negative, garbage, overflow — yields
+/// `fallback` (clamped to at least 1 so callers can never end up with
+/// zero workers).
+fn parse_num_threads(raw: Option<&str>, fallback: usize) -> usize {
+    let fallback = fallback.max(1);
+    match raw.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => fallback,
+    }
 }
 
 /// Whether a loop of `len` roughly-uniform element operations should be
@@ -237,6 +248,34 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_num_threads_accepts_positive_integers() {
+        assert_eq!(parse_num_threads(Some("4"), 8), 4);
+        assert_eq!(parse_num_threads(Some(" 16 \n"), 8), 16);
+        assert_eq!(parse_num_threads(Some("1"), 8), 1);
+    }
+
+    #[test]
+    fn parse_num_threads_falls_back_on_garbage() {
+        for bad in [
+            "0",
+            "-2",
+            "",
+            "   ",
+            "abc",
+            "4.5",
+            "1e3",
+            "0x10",
+            "99999999999999999999999999",
+        ] {
+            assert_eq!(parse_num_threads(Some(bad), 6), 6, "input {bad:?}");
+        }
+        assert_eq!(parse_num_threads(None, 6), 6);
+        // A zero fallback (pathological available_parallelism) still
+        // yields at least one worker.
+        assert_eq!(parse_num_threads(Some("junk"), 0), 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! The paper uses posit as its strongest non-adaptive baseline, with
 //! `es = 1` at word sizes ≥ 5 bits and `es = 0` at 4 bits.
 
+use crate::decode::{DecodePolicy, DecodeStats};
 use crate::error::FormatError;
 use crate::format::NumberFormat;
 use crate::util::exp2;
@@ -113,6 +114,23 @@ impl Posit {
         } else {
             decode_raw(self.n, self.es, code) as f32
         }
+    }
+
+    /// Decode an `n`-bit code under a [`DecodePolicy`].
+    ///
+    /// Under [`DecodePolicy::Harden`] the NaR pattern — which a single
+    /// sign-bit upset on a zero code produces — is repaired to `0.0` and
+    /// counted as a non-finite detection instead of releasing NaN into
+    /// the tensor. All other posit codes decode to finite in-range
+    /// values and pass through unchanged.
+    pub fn decode_with_policy(
+        &self,
+        code: u32,
+        policy: DecodePolicy,
+        stats: &mut DecodeStats,
+    ) -> f32 {
+        let v = self.decode(code);
+        stats.guard(policy, self.maxpos() as f32, v)
     }
 
     /// Quantize one value: round to the nearest representable posit.

@@ -1,8 +1,10 @@
 //! Symmetric uniform (integer) quantization with a full-precision scale —
 //! the TensorRT-style baseline of the paper.
 
+use crate::decode::{DecodePolicy, DecodeStats};
 use crate::error::FormatError;
 use crate::format::NumberFormat;
+use crate::util::{from_twos_complement, to_twos_complement};
 
 /// Symmetric uniform quantizer: `q = clamp(round(v / s), −Q, Q) · s` with
 /// `Q = 2^(n−1) − 1` and scale `s = max|data| / Q` derived per tensor.
@@ -69,6 +71,34 @@ impl Uniform {
         let q = ((v as f64) / scale).round();
         let q_max = self.q_max() as f64;
         q.clamp(-q_max, q_max) as i64
+    }
+
+    /// Encode one value under a fixed scale as an `n`-bit
+    /// two's-complement level word — what an INT weight buffer stores.
+    pub fn encode_code(&self, scale: f64, v: f32) -> u32 {
+        to_twos_complement(self.quantize_level(scale, v), self.n)
+    }
+
+    /// Decode an `n`-bit level word exactly as the bits say (a corrupted
+    /// word may decode to the unused `−2^(n−1)` extreme, outside the
+    /// symmetric range).
+    pub fn decode_code(&self, scale: f64, code: u32) -> f32 {
+        (from_twos_complement(code, self.n) as f64 * scale) as f32
+    }
+
+    /// Decode an `n`-bit level word under a [`DecodePolicy`]: hardened
+    /// decodes clamp levels beyond `±(2^(n−1) − 1)` back to the extreme
+    /// (counted in `stats`); valid symmetric levels pass through.
+    pub fn decode_code_with_policy(
+        &self,
+        scale: f64,
+        code: u32,
+        policy: DecodePolicy,
+        stats: &mut DecodeStats,
+    ) -> f32 {
+        let v = self.decode_code(scale, code);
+        let max_abs = (self.q_max() as f64 * scale) as f32;
+        stats.guard(policy, max_abs, v)
     }
 
     /// Quantize a slice under a fixed scale (dequantized values).

@@ -21,9 +21,50 @@ pub(crate) fn floor_log2(x: f64) -> i32 {
     }
 }
 
+/// Encode a signed integer level as an `n`-bit two's-complement word
+/// (`n ≤ 32`). Bits above `n` are cleared; the level is expected to fit,
+/// but out-of-range inputs simply wrap, as hardware storage would.
+pub(crate) fn to_twos_complement(level: i64, n: u32) -> u32 {
+    let mask = if n >= 32 {
+        u64::MAX >> 32
+    } else {
+        (1u64 << n) - 1
+    };
+    (level as u64 & mask) as u32
+}
+
+/// Decode an `n`-bit two's-complement word back to a signed level
+/// (`n ≤ 32`). Bits above `n` are ignored.
+pub(crate) fn from_twos_complement(code: u32, n: u32) -> i64 {
+    let mask = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let code = code & mask;
+    if n < 32 && (code >> (n - 1)) & 1 == 1 {
+        code as i64 - (1i64 << n)
+    } else if n == 32 {
+        code as i32 as i64
+    } else {
+        code as i64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn twos_complement_roundtrip() {
+        for n in [2u32, 4, 8, 13, 16, 31, 32] {
+            let hi = if n == 32 {
+                i32::MAX as i64
+            } else {
+                (1i64 << (n - 1)) - 1
+            };
+            for level in [-(hi + 1), -hi, -1, 0, 1, hi] {
+                let code = to_twos_complement(level, n);
+                assert_eq!(from_twos_complement(code, n), level, "n={n} level={level}");
+            }
+        }
+    }
 
     #[test]
     fn floor_log2_exact_powers() {

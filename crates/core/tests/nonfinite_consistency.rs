@@ -1,0 +1,118 @@
+//! Regression tests pinning the NaN/Inf input convention across every
+//! quantization path.
+//!
+//! The workspace-wide convention (relied on by the fault-injection
+//! campaigns, which deliberately push garbage through these paths):
+//! `NaN → 0.0`, `+∞ → +value_max`, `−∞ → −value_max` — for the analytic
+//! per-element quantizers, the bit-twiddled kernel path
+//! ([`FastQuantizer`]), and the codebook path ([`LutQuantizer`]) alike.
+//! The three paths must agree **bit-for-bit** on non-finite inputs.
+
+use adaptivfloat::kernels::FastQuantizer;
+use adaptivfloat::lut::LutQuantizer;
+use adaptivfloat::{AdaptivFloat, FormatKind};
+
+/// The non-finite scalars under test, plus finite sentinels to make sure
+/// interleaving doesn't disturb neighbors.
+fn nonfinite_inputs() -> Vec<f32> {
+    vec![
+        f32::NAN,
+        f32::from_bits(0xffc0_0000), // -NaN
+        f32::from_bits(0x7f80_0001), // signalling NaN
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        1.0,
+        -0.75,
+        0.0,
+    ]
+}
+
+#[test]
+fn adaptivfloat_three_paths_agree_on_nonfinite() {
+    for (n, e) in [(4u32, 2u32), (6, 3), (8, 3), (8, 4)] {
+        let fmt = AdaptivFloat::new(n, e).expect("valid geometry");
+        // A bias derived from ordinary data; non-finites never steer it.
+        let params = fmt.params_for(&[3.7f32, -0.2, 0.01]);
+        let data = nonfinite_inputs();
+
+        let analytic: Vec<f32> = data
+            .iter()
+            .map(|&v| fmt.quantize_with(&params, v))
+            .collect();
+
+        let kernel = FastQuantizer::new(&fmt, &params).expect("kernel path available");
+        let mut kernel_out = vec![0.0f32; data.len()];
+        kernel.quantize_into(&data, &mut kernel_out);
+
+        let lut = LutQuantizer::build(|v| fmt.quantize_with(&params, v));
+        let lut_out = lut.quantize_slice(&data);
+
+        for i in 0..data.len() {
+            assert_eq!(
+                analytic[i].to_bits(),
+                kernel_out[i].to_bits(),
+                "analytic vs kernel, n={n} e={e} input={:?}",
+                data[i]
+            );
+            assert_eq!(
+                analytic[i].to_bits(),
+                lut_out[i].to_bits(),
+                "analytic vs LUT, n={n} e={e} input={:?}",
+                data[i]
+            );
+        }
+
+        // And the convention itself: NaN → 0, ±∞ → ±value_max.
+        let vmax = params.value_max() as f32;
+        assert_eq!(analytic[0], 0.0, "NaN must quantize to 0.0");
+        assert_eq!(analytic[1], 0.0, "-NaN must quantize to 0.0");
+        assert_eq!(analytic[2], 0.0, "sNaN must quantize to 0.0");
+        assert_eq!(analytic[3], vmax, "+Inf must clamp to value_max");
+        assert_eq!(analytic[4], -vmax, "-Inf must clamp to -value_max");
+    }
+}
+
+#[test]
+fn every_format_kind_follows_the_convention() {
+    for kind in FormatKind::ALL {
+        for n in [4u32, 8] {
+            let fmt = kind.build(n).expect("valid geometry");
+            // Long enough to take the LUT path (len ≥ 32) where one
+            // exists; max|finite| = 2 pins the adaptive range.
+            let mut data = vec![0.125f32; 40];
+            data[0] = 2.0;
+            data[1] = f32::NAN;
+            data[2] = f32::INFINITY;
+            data[3] = f32::NEG_INFINITY;
+            let q = fmt.quantize_slice(&data);
+            let label = fmt.name();
+            assert_eq!(q[1], 0.0, "{label}: NaN must quantize to 0.0");
+            assert!(
+                q[2].is_finite() && q[2] > 0.0,
+                "{label}: +Inf must clamp to a positive finite maximum, got {}",
+                q[2]
+            );
+            assert!(
+                q[3].is_finite() && q[3] < 0.0,
+                "{label}: -Inf must clamp to a negative finite maximum, got {}",
+                q[3]
+            );
+            assert_eq!(q[2], -q[3], "{label}: the ±Inf clamps must be symmetric");
+
+            // The slice path (LUT or parallel analytic) must match the
+            // short-slice path (serial analytic) element for element.
+            let short: Vec<f32> = data
+                .iter()
+                .map(|&v| fmt.quantize_slice(&[2.0, v])[1])
+                .collect();
+            for (i, (&a, &b)) in q.iter().zip(&short).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{label}: slice vs scalar path diverge at {i} on {:?}",
+                    data[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for `core::pack::PackedCodes` — the storage layer the
+//! fault-injection subsystem corrupts, so its addressing must be exact
+//! for every width, including codes straddling `u64` word boundaries.
+
+use adaptivfloat::PackedCodes;
+use proptest::prelude::*;
+
+fn width_mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+proptest! {
+    /// push → get/iter round-trips every code at every width 1..=16.
+    /// Lengths beyond 64/width guarantee word-boundary straddles for
+    /// widths that don't divide 64 (3, 5, 6, 7, 9, ...).
+    #[test]
+    fn push_get_iter_roundtrip(
+        width in 1u32..=16,
+        raw in prop::collection::vec(0u64..u64::MAX, 0..300),
+    ) {
+        let mask = width_mask(width);
+        let codes: Vec<u64> = raw.iter().map(|&c| c & mask).collect();
+        let mut p = PackedCodes::new(width);
+        p.extend(raw.iter().copied()); // push masks high bits itself
+        prop_assert_eq!(p.len(), codes.len());
+        prop_assert_eq!(p.is_empty(), codes.is_empty());
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(p.get(i), c, "width={} index={}", width, i);
+        }
+        prop_assert_eq!(p.iter().collect::<Vec<_>>(), codes);
+    }
+
+    /// packed_bytes() is exactly the tight word count: ⌈len·width/64⌉
+    /// words of 8 bytes, never a word more or less.
+    #[test]
+    fn packed_bytes_is_exact(
+        width in 1u32..=16,
+        len in 0usize..300,
+    ) {
+        let mut p = PackedCodes::new(width);
+        for i in 0..len {
+            p.push(i as u64);
+        }
+        let bits = len * width as usize;
+        prop_assert_eq!(p.packed_bytes(), bits.div_ceil(64) * 8);
+    }
+
+    /// set() at a random position stores the new code and leaves every
+    /// other code untouched — the guarantee fault injection relies on to
+    /// corrupt exactly one word of a weight buffer.
+    #[test]
+    fn set_is_surgical(
+        width in 1u32..=16,
+        raw in prop::collection::vec(0u64..u64::MAX, 1..300),
+        pos_raw in 0usize..1_000_000,
+        new_code in 0u64..u64::MAX,
+    ) {
+        let mask = width_mask(width);
+        let mut expect: Vec<u64> = raw.iter().map(|&c| c & mask).collect();
+        let mut p = PackedCodes::new(width);
+        p.extend(raw.iter().copied());
+        let pos = pos_raw % expect.len();
+        p.set(pos, new_code);
+        expect[pos] = new_code & mask;
+        prop_assert_eq!(p.iter().collect::<Vec<_>>(), expect);
+    }
+
+    /// flip_bits() is a masked XOR: applying the same mask twice restores
+    /// the original storage bit-for-bit.
+    #[test]
+    fn flip_bits_roundtrips(
+        width in 1u32..=16,
+        raw in prop::collection::vec(0u64..u64::MAX, 1..200),
+        pos_raw in 0usize..1_000_000,
+        flip_mask in 0u64..u64::MAX,
+    ) {
+        let mut p = PackedCodes::new(width);
+        p.extend(raw.iter().copied());
+        let before: Vec<u64> = p.iter().collect();
+        let pos = pos_raw % before.len();
+        p.flip_bits(pos, flip_mask);
+        prop_assert_eq!(p.get(pos), before[pos] ^ (flip_mask & width_mask(width)));
+        p.flip_bits(pos, flip_mask);
+        prop_assert_eq!(p.iter().collect::<Vec<_>>(), before);
+    }
+}

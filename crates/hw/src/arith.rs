@@ -6,6 +6,7 @@
 //! that the Figure 5 datapaths faithfully implement the quantized
 //! arithmetic the algorithm layer promises.
 
+use crate::faults::{DatapathFaults, NoFaults};
 use adaptivfloat::{AdaptivFloat, AdaptivParams};
 
 /// A decoded AdaptivFloat operand as the hardware sees it: sign, exponent
@@ -56,24 +57,50 @@ pub fn hfint_dot(
     w_codes: &[u32],
     a_codes: &[u32],
 ) -> (i128, f64) {
+    hfint_dot_with_faults(fmt, w_params, a_params, w_codes, a_codes, &NoFaults)
+}
+
+/// [`hfint_dot`] with [`DatapathFaults`] hooks at the three strike
+/// points a transient upset can hit: each aligned multiplier output
+/// ([`on_product`](DatapathFaults::on_product)), the accumulator after
+/// each add ([`on_accumulator`](DatapathFaults::on_accumulator)), and
+/// the two exponent-bias registers feeding the output scale
+/// ([`on_exp_bias`](DatapathFaults::on_exp_bias)). With [`NoFaults`]
+/// this is bit-identical to the clean path — `hfint_dot` simply
+/// delegates here.
+///
+/// # Panics
+///
+/// Panics if the code slices have different lengths.
+pub fn hfint_dot_with_faults(
+    fmt: &AdaptivFloat,
+    w_params: &AdaptivParams,
+    a_params: &AdaptivParams,
+    w_codes: &[u32],
+    a_codes: &[u32],
+    faults: &dyn DatapathFaults,
+) -> (i128, f64) {
     assert_eq!(w_codes.len(), a_codes.len(), "operand count mismatch");
     let m = fmt.mantissa_bits() as i32;
     let mut acc: i128 = 0;
-    for (&wc, &ac) in w_codes.iter().zip(a_codes) {
+    for (lane, (&wc, &ac)) in w_codes.iter().zip(a_codes).enumerate() {
         let w = decode_operand(fmt, wc);
         let a = decode_operand(fmt, ac);
         if !w.nonzero || !a.nonzero {
             continue; // zero operand contributes nothing
         }
         let product = (w.mant_int as i128) * (a.mant_int as i128);
-        let aligned = product << (w.exp_field + a.exp_field);
+        let aligned = faults.on_product(lane, product << (w.exp_field + a.exp_field));
         acc += if w.negative ^ a.negative {
             -aligned
         } else {
             aligned
         };
+        acc = faults.on_accumulator(lane, acc);
     }
-    let scale = (w_params.exp_bias + a_params.exp_bias - 2 * m) as f64;
+    let bias_w = faults.on_exp_bias(w_params.exp_bias);
+    let bias_a = faults.on_exp_bias(a_params.exp_bias);
+    let scale = (bias_w + bias_a - 2 * m) as f64;
     (acc, acc as f64 * scale.exp2())
 }
 
@@ -91,11 +118,31 @@ pub fn hfint_dot(
 /// Panics if the level slices have different lengths or `scale` is not
 /// positive and finite.
 pub fn int_dot_scaled(w_levels: &[i64], a_levels: &[i64], scale: f64, s_bits: u32) -> (i128, f64) {
+    int_dot_scaled_with_faults(w_levels, a_levels, scale, s_bits, &NoFaults)
+}
+
+/// [`int_dot_scaled`] with [`DatapathFaults`] hooks on the multiplier
+/// outputs and the accumulator (the INT PE has no exponent-bias
+/// register, so [`on_exp_bias`](DatapathFaults::on_exp_bias) is never
+/// called). With [`NoFaults`] this is bit-identical to the clean path.
+///
+/// # Panics
+///
+/// Panics if the level slices have different lengths or `scale` is not
+/// positive and finite.
+pub fn int_dot_scaled_with_faults(
+    w_levels: &[i64],
+    a_levels: &[i64],
+    scale: f64,
+    s_bits: u32,
+    faults: &dyn DatapathFaults,
+) -> (i128, f64) {
     assert_eq!(w_levels.len(), a_levels.len(), "operand count mismatch");
     assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
     let mut acc: i128 = 0;
-    for (&w, &a) in w_levels.iter().zip(a_levels) {
-        acc += (w as i128) * (a as i128);
+    for (lane, (&w, &a)) in w_levels.iter().zip(a_levels).enumerate() {
+        acc += faults.on_product(lane, (w as i128) * (a as i128));
+        acc = faults.on_accumulator(lane, acc);
     }
     // Fixed-point scale: mantissa of s_bits, exponent r such that
     // scale ≈ fs · 2^−r with 2^(s_bits−1) ≤ fs < 2^s_bits.
@@ -244,6 +291,59 @@ mod tests {
             let q = fmt.quantize_with(&params, v as f32);
             assert_eq!(back, q);
         }
+    }
+
+    #[test]
+    fn instrumented_paths_with_no_faults_are_bit_identical() {
+        let fmt = AdaptivFloat::new(8, 3).unwrap();
+        let w: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.11)
+            .collect();
+        let a: Vec<f32> = (0..64)
+            .map(|i| ((i * 13 % 23) as f32 - 11.0) * 0.07)
+            .collect();
+        let wp = fmt.params_for(&w);
+        let ap = fmt.params_for(&a);
+        let wc = codes(&fmt, &wp, &w);
+        let ac = codes(&fmt, &ap, &a);
+        let clean = hfint_dot(&fmt, &wp, &ap, &wc, &ac);
+        let hooked = hfint_dot_with_faults(&fmt, &wp, &ap, &wc, &ac, &NoFaults);
+        assert_eq!(clean.0, hooked.0);
+        assert_eq!(clean.1.to_bits(), hooked.1.to_bits());
+
+        let wl: Vec<i64> = (0..64).map(|i| (i % 17) - 8).collect();
+        let al: Vec<i64> = (0..64).map(|i| (i % 13) - 6).collect();
+        let clean = int_dot_scaled(&wl, &al, 0.0123, 16);
+        let hooked = int_dot_scaled_with_faults(&wl, &al, 0.0123, 16, &NoFaults);
+        assert_eq!(clean.0, hooked.0);
+        assert_eq!(clean.1.to_bits(), hooked.1.to_bits());
+    }
+
+    #[test]
+    fn datapath_faults_strike_the_named_stages() {
+        struct StuckAccMsb;
+        impl DatapathFaults for StuckAccMsb {
+            fn on_accumulator(&self, _lane: usize, acc: i128) -> i128 {
+                acc | (1 << 20)
+            }
+        }
+        struct BiasFlip;
+        impl DatapathFaults for BiasFlip {
+            fn on_exp_bias(&self, bias: i32) -> i32 {
+                bias ^ 0b10
+            }
+        }
+        let fmt = AdaptivFloat::new(8, 3).unwrap();
+        let params = fmt.params_with_bias(-7);
+        let wc: Vec<u32> = vec![fmt.encode_with(&params, 0.5); 4];
+        let ac: Vec<u32> = vec![fmt.encode_with(&params, 0.25); 4];
+        let clean = hfint_dot(&fmt, &params, &params, &wc, &ac);
+        let acc_hit = hfint_dot_with_faults(&fmt, &params, &params, &wc, &ac, &StuckAccMsb);
+        assert_ne!(clean.0, acc_hit.0, "stuck accumulator bit must show up");
+        let bias_hit = hfint_dot_with_faults(&fmt, &params, &params, &wc, &ac, &BiasFlip);
+        // A bias flip rescales the result without touching the integer.
+        assert_eq!(clean.0, bias_hit.0);
+        assert_ne!(clean.1, bias_hit.1, "bias flip must rescale the output");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Fault hooks for the bit-accurate PE datapaths.
+//!
+//! A transient upset inside a PE is not the same as a corrupted weight
+//! buffer: it strikes *intermediate* state — a multiplier output lane,
+//! the wide accumulator register, the exponent-bias register feeding the
+//! output scale. [`DatapathFaults`] exposes exactly those three strike
+//! points as hooks. The instrumented datapaths in [`crate::arith`] call
+//! the hooks at the corresponding pipeline stages; the identity
+//! implementation [`NoFaults`] makes the instrumented path bit-identical
+//! to the clean one, which is the zero-fault guarantee the resilience
+//! campaigns (and a regression test) rely on.
+//!
+//! The hooks take `&self` so one fault plan can be shared across lanes
+//! and calls; implementations that need mutable state (e.g. a counter of
+//! injected faults) use interior mutability.
+
+/// Strike points inside a PE datapath. All hooks default to the
+/// identity, so an implementation only overrides the stages it corrupts.
+pub trait DatapathFaults {
+    /// Called with each multiplier output (`lane` is the MAC lane index
+    /// within the current dot product). Return the possibly-corrupted
+    /// product.
+    fn on_product(&self, lane: usize, product: i128) -> i128 {
+        let _ = lane;
+        product
+    }
+
+    /// Called with the accumulator value after each lane's add. Return
+    /// the possibly-corrupted accumulator state.
+    fn on_accumulator(&self, lane: usize, acc: i128) -> i128 {
+        let _ = lane;
+        acc
+    }
+
+    /// Called with the exponent-bias register value (per operand tensor)
+    /// before it enters the output scale computation.
+    fn on_exp_bias(&self, bias: i32) -> i32 {
+        bias
+    }
+}
+
+/// The identity fault plan: every hook passes its input through
+/// unchanged. Using it makes the instrumented datapaths bit-identical
+/// to the uninstrumented ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl DatapathFaults for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FlipLane3;
+
+    impl DatapathFaults for FlipLane3 {
+        fn on_product(&self, lane: usize, product: i128) -> i128 {
+            if lane == 3 {
+                product ^ 0b100
+            } else {
+                product
+            }
+        }
+    }
+
+    #[test]
+    fn defaults_are_identity() {
+        let f = NoFaults;
+        assert_eq!(f.on_product(0, 12345), 12345);
+        assert_eq!(f.on_accumulator(7, -9), -9);
+        assert_eq!(f.on_exp_bias(-11), -11);
+    }
+
+    #[test]
+    fn overriding_one_hook_leaves_the_rest_identity() {
+        let f = FlipLane3;
+        assert_eq!(f.on_product(0, 8), 8);
+        assert_eq!(f.on_product(3, 8), 12);
+        assert_eq!(f.on_accumulator(3, 8), 8);
+        assert_eq!(f.on_exp_bias(2), 2);
+    }
+}

@@ -31,11 +31,13 @@ pub mod accelerator;
 pub mod arith;
 pub mod components;
 pub mod constants;
+pub mod faults;
 pub mod pe;
 pub mod workload;
 
 pub use accelerator::{Accelerator, AcceleratorReport};
 pub use components::{Bom, BomItem};
 pub use constants::CostParams;
+pub use faults::{DatapathFaults, NoFaults};
 pub use pe::{PeConfig, PeKind, PeModel};
 pub use workload::LstmWorkload;

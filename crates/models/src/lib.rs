@@ -25,7 +25,7 @@ pub mod resnet;
 pub mod seq2seq;
 pub mod transformer;
 
-pub use model::{ModelFamily, QuantizableModel};
+pub use model::{evaluate_with_weight_transform, ModelFamily, QuantizableModel};
 pub use resnet::MiniResNet;
 pub use seq2seq::Seq2Seq;
 pub use transformer::MiniTransformer;

@@ -175,9 +175,62 @@ pub fn retrain_quantized(
     Ok(())
 }
 
+/// Evaluate the model with every weight matrix passed through
+/// `transform` (layer index, weight slice in place), then restore the
+/// original weights — the hook fault-injection campaigns use to measure
+/// end-task damage: the transform encodes the weights into a storage
+/// format, corrupts the stored bits, and decodes them back.
+///
+/// Biases and norm affines (rank < 2) are left untouched, matching
+/// [`QuantizableModel::quantize_weights_ptq`]. The layer index counts
+/// rank ≥ 2 parameters only, in the model's stable parameter order, so
+/// it lines up with [`QuantizableModel::weight_layers`]. With an
+/// identity transform the returned metric is bit-identical to a plain
+/// [`evaluate`](QuantizableModel::evaluate).
+pub fn evaluate_with_weight_transform(
+    model: &mut dyn QuantizableModel,
+    samples: usize,
+    mut transform: impl FnMut(usize, &mut [f32]),
+) -> f64 {
+    let snapshot = model.snapshot();
+    for (layer, p) in model
+        .params_mut()
+        .into_iter()
+        .filter(|p| p.value.rank() >= 2)
+        .enumerate()
+    {
+        transform(layer, p.value.data_mut());
+    }
+    let metric = model.evaluate(samples);
+    model.restore(&snapshot);
+    metric
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weight_transform_eval_restores_and_identity_matches_plain() {
+        use crate::resnet::MiniResNet;
+        let mut m = MiniResNet::new(11);
+        m.train_steps(5);
+        let before = m.snapshot();
+        let plain = m.evaluate(4);
+        // Identity transform: same metric, weights untouched afterwards.
+        let identity = evaluate_with_weight_transform(&mut m, 4, |_, _| {});
+        assert_eq!(identity.to_bits(), plain.to_bits());
+        // Destructive transform: metric may move, weights must come back.
+        let _ = evaluate_with_weight_transform(&mut m, 4, |_, w| {
+            for v in w.iter_mut() {
+                *v = 0.0;
+            }
+        });
+        let after = m.snapshot();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.data(), b.data(), "weights must be restored");
+        }
+    }
 
     #[test]
     fn family_metadata_matches_paper_table1() {

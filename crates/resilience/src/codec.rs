@@ -1,0 +1,271 @@
+//! Equal-word-size storage codecs: encode a tensor into the packed
+//! `n`-bit codes a weight buffer would hold, and decode back under a
+//! [`DecodePolicy`].
+//!
+//! This is the bridge between the fault model (which strikes stored
+//! bits) and the format algebra (which defines what those bits mean).
+//! Each [`FormatKind`] gets the per-tensor side state a real
+//! accelerator would keep next to the code buffer — AdaptivFloat's
+//! `exp_bias`, BFP's shared exponent, Uniform's scale — derived once
+//! from the clean tensor, so a campaign corrupts codes against *fixed*
+//! parameters, exactly like a deployed model.
+
+use adaptivfloat::{
+    AdaptivFloat, AdaptivParams, BlockFloat, DecodePolicy, DecodeStats, FixedPoint, FormatError,
+    FormatKind, IeeeLikeFloat, PackedCodes, Posit, Uniform,
+};
+
+/// A fitted per-tensor storage codec: format geometry plus the derived
+/// side parameters needed to encode/decode `n`-bit words.
+#[derive(Debug, Clone)]
+pub enum StorageCodec {
+    /// AdaptivFloat `<n,3>` with its fitted per-tensor exponent bias.
+    Adaptiv {
+        /// Format geometry.
+        fmt: AdaptivFloat,
+        /// Fitted per-tensor parameters (exp_bias).
+        params: AdaptivParams,
+    },
+    /// IEEE-like float — stateless, the bits are self-describing.
+    Ieee {
+        /// Format geometry.
+        fmt: IeeeLikeFloat,
+    },
+    /// Posit — stateless, the bits are self-describing.
+    Posit {
+        /// Format geometry.
+        fmt: Posit,
+    },
+    /// Block floating-point with the fitted per-tensor shared exponent.
+    Bfp {
+        /// Format geometry.
+        fmt: BlockFloat,
+        /// Fitted shared exponent.
+        exp: i32,
+    },
+    /// Symmetric uniform with the fitted per-tensor scale.
+    Uniform {
+        /// Format geometry.
+        fmt: Uniform,
+        /// Fitted scale.
+        scale: f64,
+    },
+    /// Fixed-point Qi.f — stateless baseline.
+    Fixed {
+        /// Format geometry.
+        fmt: FixedPoint,
+    },
+}
+
+impl StorageCodec {
+    /// Fit the codec for `kind` at word size `n` to a clean tensor,
+    /// using the same per-kind field splits as [`FormatKind::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if `n` is invalid for the
+    /// kind's geometry.
+    pub fn fit(kind: FormatKind, n: u32, data: &[f32]) -> Result<Self, FormatError> {
+        Ok(match kind {
+            FormatKind::AdaptivFloat => {
+                let fmt = AdaptivFloat::new(n, 3.min(n - 1))?;
+                let params = fmt.params_for(data);
+                StorageCodec::Adaptiv { fmt, params }
+            }
+            FormatKind::Float => {
+                let e = if n <= 4 { 3 } else { 4 };
+                StorageCodec::Ieee {
+                    fmt: IeeeLikeFloat::new(n, e)?,
+                }
+            }
+            FormatKind::Posit => {
+                let es = if n <= 4 { 0 } else { 1 };
+                StorageCodec::Posit {
+                    fmt: Posit::new(n, es)?,
+                }
+            }
+            FormatKind::Bfp => {
+                let fmt = BlockFloat::new(n)?;
+                let max_abs = data
+                    .iter()
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .fold(0.0f32, |acc, v| acc.max(v.abs()));
+                StorageCodec::Bfp {
+                    fmt,
+                    exp: BlockFloat::shared_exponent(max_abs),
+                }
+            }
+            FormatKind::Uniform => {
+                let fmt = Uniform::new(n)?;
+                let max_abs = data
+                    .iter()
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .fold(0.0f32, |acc, v| acc.max(v.abs()));
+                StorageCodec::Uniform {
+                    fmt,
+                    scale: fmt.scale_for(max_abs),
+                }
+            }
+        })
+    }
+
+    /// A fixed-point codec (not part of [`FormatKind::ALL`]; offered for
+    /// baseline sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] for invalid geometry.
+    pub fn fit_fixed(n: u32, int_bits: u32) -> Result<Self, FormatError> {
+        Ok(StorageCodec::Fixed {
+            fmt: FixedPoint::new(n, int_bits)?,
+        })
+    }
+
+    /// Word size in bits.
+    pub fn width(&self) -> u32 {
+        match self {
+            StorageCodec::Adaptiv { fmt, .. } => fmt.n(),
+            StorageCodec::Ieee { fmt } => fmt.n(),
+            StorageCodec::Posit { fmt } => fmt.n(),
+            StorageCodec::Bfp { fmt, .. } => fmt.n(),
+            StorageCodec::Uniform { fmt, .. } => fmt.n(),
+            StorageCodec::Fixed { fmt } => fmt.n(),
+        }
+    }
+
+    /// Encode one value to its `n`-bit word.
+    pub fn encode_one(&self, v: f32) -> u32 {
+        match self {
+            StorageCodec::Adaptiv { fmt, params } => fmt.encode_with(params, v),
+            StorageCodec::Ieee { fmt } => fmt.encode(v),
+            StorageCodec::Posit { fmt } => fmt.encode(v),
+            StorageCodec::Bfp { fmt, exp } => fmt.encode_code(*exp, v),
+            StorageCodec::Uniform { fmt, scale } => fmt.encode_code(*scale, v),
+            StorageCodec::Fixed { fmt } => fmt.encode(v),
+        }
+    }
+
+    /// Decode one `n`-bit word under `policy`, counting into `stats`.
+    pub fn decode_one(&self, code: u32, policy: DecodePolicy, stats: &mut DecodeStats) -> f32 {
+        match self {
+            StorageCodec::Adaptiv { fmt, params } => {
+                fmt.decode_with_policy(params, code, policy, stats)
+            }
+            StorageCodec::Ieee { fmt } => fmt.decode_with_policy(code, policy, stats),
+            StorageCodec::Posit { fmt } => fmt.decode_with_policy(code, policy, stats),
+            StorageCodec::Bfp { fmt, exp } => {
+                fmt.decode_code_with_policy(*exp, code, policy, stats)
+            }
+            StorageCodec::Uniform { fmt, scale } => {
+                fmt.decode_code_with_policy(*scale, code, policy, stats)
+            }
+            StorageCodec::Fixed { fmt } => fmt.decode_with_policy(code, policy, stats),
+        }
+    }
+
+    /// Encode a whole tensor into packed storage.
+    pub fn encode_slice(&self, data: &[f32]) -> PackedCodes {
+        let mut packed = PackedCodes::new(self.width());
+        for &v in data {
+            packed.push(self.encode_one(v) as u64);
+        }
+        packed
+    }
+
+    /// Decode packed storage back to values under `policy`, returning
+    /// the per-tensor corruption counters alongside.
+    pub fn decode_slice(
+        &self,
+        codes: &PackedCodes,
+        policy: DecodePolicy,
+    ) -> (Vec<f32>, DecodeStats) {
+        let mut stats = DecodeStats::new();
+        let vals = codes
+            .iter()
+            .map(|c| self.decode_one(c as u32, policy, &mut stats))
+            .collect();
+        (vals, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Vec<f32> {
+        (0..256)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.043)
+            .collect()
+    }
+
+    #[test]
+    fn clean_roundtrip_matches_quantizer_for_every_kind() {
+        let data = sample_data();
+        for kind in FormatKind::ALL {
+            for n in [4u32, 8] {
+                let codec = StorageCodec::fit(kind, n, &data).expect("valid geometry");
+                let packed = codec.encode_slice(&data);
+                let (decoded, stats) = codec.decode_slice(&packed, DecodePolicy::Harden);
+                assert_eq!(stats.decoded, data.len() as u64);
+                assert_eq!(
+                    stats.repaired(),
+                    0,
+                    "{kind}: clean codes must never trip the hardening"
+                );
+                // The paper's formats quantize per tensor; the codec
+                // round-trip must agree with the reference slice path.
+                let fmt = kind.build(n).unwrap();
+                let want = fmt.quantize_slice(&data);
+                for (i, (&got, &w)) in decoded.iter().zip(&want).enumerate() {
+                    assert!(
+                        (got - w).abs() <= 1e-6 * w.abs().max(1.0),
+                        "{kind} n={n} element {i}: codec {got} vs quantizer {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_codec_roundtrips() {
+        let codec = StorageCodec::fit_fixed(8, 2).unwrap();
+        let data = [1.5f32, -0.25, 3.96875, -3.96875, 0.0];
+        let packed = codec.encode_slice(&data);
+        let (decoded, stats) = codec.decode_slice(&packed, DecodePolicy::Harden);
+        assert_eq!(decoded, data.to_vec());
+        assert_eq!(stats.repaired(), 0);
+    }
+
+    #[test]
+    fn hardened_decode_repairs_posit_nar() {
+        let data = sample_data();
+        let codec = StorageCodec::fit(FormatKind::Posit, 8, &data).unwrap();
+        let mut packed = codec.encode_slice(&data);
+        // Force the NaR pattern (1000_0000) into element 3.
+        packed.set(3, 0x80);
+        let (raw, raw_stats) = codec.decode_slice(&packed, DecodePolicy::Raw);
+        assert!(raw[3].is_nan(), "raw decode must propagate NaR");
+        assert_eq!(raw_stats.repaired(), 0);
+        let (hard, stats) = codec.decode_slice(&packed, DecodePolicy::Harden);
+        assert_eq!(hard[3], 0.0, "hardened decode must repair NaR to 0");
+        assert_eq!(stats.nonfinite, 1);
+    }
+
+    #[test]
+    fn hardened_decode_clamps_integer_extremes() {
+        let data = sample_data();
+        for kind in [FormatKind::Uniform, FormatKind::Bfp] {
+            let codec = StorageCodec::fit(kind, 8, &data).unwrap();
+            let mut packed = codec.encode_slice(&data);
+            // 0x80 is the unused −2^(n−1) two's-complement extreme.
+            packed.set(0, 0x80);
+            let (_, stats) = codec.decode_slice(&packed, DecodePolicy::Harden);
+            assert_eq!(
+                stats.out_of_range, 1,
+                "{kind}: the asymmetric extreme must be caught"
+            );
+        }
+    }
+}

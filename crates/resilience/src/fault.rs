@@ -1,0 +1,286 @@
+//! The fault model: what kinds of upsets exist and how a seeded
+//! campaign turns them into a concrete, deterministic fault map.
+
+use crate::rng::SplitMix64;
+
+/// The kinds of storage upsets a campaign can inject into a word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Flip exactly one uniformly-chosen bit of the word.
+    SingleBit,
+    /// Flip `flips` distinct uniformly-chosen bits of the word.
+    MultiBit {
+        /// Number of distinct bits to flip (clamped to the word width).
+        flips: u32,
+    },
+    /// Force one uniformly-chosen bit to a fixed value (a hard fault in
+    /// a storage cell). Unlike a flip, re-applying it is idempotent and
+    /// it may happen to match the stored bit, injecting no visible
+    /// change.
+    StuckAt {
+        /// The value the cell is stuck at.
+        value: bool,
+    },
+    /// Flip a contiguous run of `len` bits starting at a
+    /// uniformly-chosen position (runs clip at the word's top bit) — a
+    /// multi-cell upset from a single particle strike.
+    Burst {
+        /// Burst length in bits (clamped to the word width).
+        len: u32,
+    },
+}
+
+impl FaultKind {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::SingleBit => "single-bit".to_string(),
+            FaultKind::MultiBit { flips } => format!("multi-bit({flips})"),
+            FaultKind::StuckAt { value } => format!("stuck-at-{}", u8::from(*value)),
+            FaultKind::Burst { len } => format!("burst({len})"),
+        }
+    }
+}
+
+/// A fault campaign specification: which upset, how often, which seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The upset model.
+    pub kind: FaultKind,
+    /// Per-element fault probability in `[0, 1]`. `0.0` yields an empty
+    /// fault map — injection is then a guaranteed no-op.
+    pub rate: f64,
+    /// Campaign seed. The same `(kind, rate, seed, len, width)` always
+    /// yields the same fault map, independent of thread count.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A single-bit campaign — the common case.
+    pub fn single_bit(rate: f64, seed: u64) -> Self {
+        FaultSpec {
+            kind: FaultKind::SingleBit,
+            rate,
+            seed,
+        }
+    }
+
+    /// Sample the concrete fault map for a tensor of `len` words of
+    /// `width` bits. Deterministic: every element's hit decision and
+    /// fault shape come from its own keyed [`SplitMix64`] stream, so the
+    /// result is identical however the loop is split across threads.
+    pub fn sample(&self, len: usize, width: u32) -> FaultMap {
+        assert!(
+            (0.0..=1.0).contains(&self.rate),
+            "fault rate must be a probability, got {}",
+            self.rate
+        );
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        let mut events = Vec::new();
+        if self.rate > 0.0 {
+            for index in 0..len {
+                let mut hit = SplitMix64::for_element(self.seed, DOMAIN_HIT, index as u64);
+                if hit.next_f64() >= self.rate {
+                    continue;
+                }
+                let mut shape = SplitMix64::for_element(self.seed, DOMAIN_SHAPE, index as u64);
+                events.push(sample_event(&self.kind, index, width, &mut shape));
+            }
+        }
+        FaultMap { width, events }
+    }
+}
+
+const DOMAIN_HIT: u64 = 0;
+const DOMAIN_SHAPE: u64 = 1;
+
+/// One concrete upset: masks to apply to the word at `index` as
+/// `word = ((word & !clear_mask) | set_mask) ^ xor_mask`. Flips use
+/// `xor_mask`; stuck-at cells use `set_mask`/`clear_mask`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Element index the upset strikes.
+    pub index: usize,
+    /// Bits forced to 1.
+    pub set_mask: u64,
+    /// Bits forced to 0.
+    pub clear_mask: u64,
+    /// Bits flipped.
+    pub xor_mask: u64,
+}
+
+impl FaultEvent {
+    /// Apply this upset to a stored word.
+    pub fn apply(&self, word: u64) -> u64 {
+        ((word & !self.clear_mask) | self.set_mask) ^ self.xor_mask
+    }
+}
+
+fn sample_event(kind: &FaultKind, index: usize, width: u32, rng: &mut SplitMix64) -> FaultEvent {
+    let mut event = FaultEvent {
+        index,
+        set_mask: 0,
+        clear_mask: 0,
+        xor_mask: 0,
+    };
+    match *kind {
+        FaultKind::SingleBit => {
+            event.xor_mask = 1u64 << rng.next_below(width as u64);
+        }
+        FaultKind::MultiBit { flips } => {
+            let flips = flips.clamp(1, width);
+            let mut mask = 0u64;
+            while mask.count_ones() < flips {
+                mask |= 1u64 << rng.next_below(width as u64);
+            }
+            event.xor_mask = mask;
+        }
+        FaultKind::StuckAt { value } => {
+            let bit = 1u64 << rng.next_below(width as u64);
+            if value {
+                event.set_mask = bit;
+            } else {
+                event.clear_mask = bit;
+            }
+        }
+        FaultKind::Burst { len } => {
+            let len = len.clamp(1, width);
+            let start = rng.next_below(width as u64) as u32;
+            let run = len.min(width - start);
+            let ones = if run == 64 {
+                u64::MAX
+            } else {
+                (1u64 << run) - 1
+            };
+            event.xor_mask = ones << start;
+        }
+    }
+    event
+}
+
+/// The concrete, reproducible outcome of sampling a [`FaultSpec`]
+/// against a tensor: which elements are struck and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMap {
+    width: u32,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultMap {
+    /// Word width the map was sampled for.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The upsets, in ascending element order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of struck elements.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the map strikes nothing (guaranteed at rate 0).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let map = FaultSpec::single_bit(0.0, 7).sample(10_000, 8);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn full_rate_strikes_everything() {
+        let map = FaultSpec::single_bit(1.0, 7).sample(500, 8);
+        assert_eq!(map.len(), 500);
+        for (i, ev) in map.events().iter().enumerate() {
+            assert_eq!(ev.index, i);
+            assert_eq!(ev.xor_mask.count_ones(), 1);
+            assert!(ev.xor_mask < 1 << 8);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_map_different_seed_different_map() {
+        let a = FaultSpec::single_bit(0.05, 11).sample(4096, 6);
+        let b = FaultSpec::single_bit(0.05, 11).sample(4096, 6);
+        let c = FaultSpec::single_bit(0.05, 12).sample(4096, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let map = FaultSpec::single_bit(0.1, 3).sample(20_000, 8);
+        let got = map.len() as f64 / 20_000.0;
+        assert!((got - 0.1).abs() < 0.01, "empirical rate {got}");
+    }
+
+    #[test]
+    fn multi_bit_flips_exactly_k_distinct_bits() {
+        let spec = FaultSpec {
+            kind: FaultKind::MultiBit { flips: 3 },
+            rate: 1.0,
+            seed: 5,
+        };
+        for ev in spec.sample(200, 8).events() {
+            assert_eq!(ev.xor_mask.count_ones(), 3);
+        }
+        // Clamps to the word width when flips exceed it.
+        let wide = FaultSpec {
+            kind: FaultKind::MultiBit { flips: 9 },
+            rate: 1.0,
+            seed: 5,
+        };
+        for ev in wide.sample(50, 4).events() {
+            assert_eq!(ev.xor_mask.count_ones(), 4);
+        }
+    }
+
+    #[test]
+    fn stuck_at_is_idempotent() {
+        let spec = FaultSpec {
+            kind: FaultKind::StuckAt { value: true },
+            rate: 1.0,
+            seed: 9,
+        };
+        for ev in spec.sample(100, 8).events() {
+            let w = 0b0101_0101u64;
+            let once = ev.apply(w);
+            assert_eq!(ev.apply(once), once, "stuck-at must be idempotent");
+            assert_eq!(once | ev.set_mask, once);
+        }
+    }
+
+    #[test]
+    fn burst_is_contiguous_and_clips() {
+        let spec = FaultSpec {
+            kind: FaultKind::Burst { len: 3 },
+            rate: 1.0,
+            seed: 2,
+        };
+        for ev in spec.sample(300, 8).events() {
+            let m = ev.xor_mask;
+            assert!(m != 0 && m < 1 << 8);
+            // Contiguous: shifting out trailing zeros leaves all-ones.
+            let norm = m >> m.trailing_zeros();
+            assert_eq!(norm & (norm + 1), 0, "burst mask {m:#b} not contiguous");
+            assert!(m.count_ones() <= 3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        let r = std::panic::catch_unwind(|| FaultSpec::single_bit(1.5, 0).sample(10, 8));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Injection adapters: apply a [`FaultMap`] to the three storage
+//! surfaces a deployed accelerator exposes — packed sub-byte code
+//! buffers, unpacked code words, and raw f32 tensors.
+
+use crate::fault::{FaultMap, FaultSpec};
+use adaptivfloat::PackedCodes;
+
+/// Corrupt a packed code buffer in place according to `map` (sampled at
+/// the buffer's width). Returns the number of words struck. A map from
+/// a zero-rate spec is empty, making this a guaranteed no-op.
+///
+/// # Panics
+///
+/// Panics if the map's width differs from the buffer's width or an
+/// event index is out of bounds.
+pub fn inject_packed(codes: &mut PackedCodes, map: &FaultMap) -> usize {
+    assert_eq!(
+        map.width(),
+        codes.width(),
+        "fault map width {} vs packed width {}",
+        map.width(),
+        codes.width()
+    );
+    for ev in map.events() {
+        let word = codes.get(ev.index);
+        codes.set(ev.index, ev.apply(word));
+    }
+    map.len()
+}
+
+/// Corrupt a slice of unpacked `width`-bit code words in place.
+/// Returns the number of words struck.
+///
+/// # Panics
+///
+/// Panics if an event index is out of bounds, or the map was sampled at
+/// a width above 32.
+pub fn inject_codes(codes: &mut [u32], map: &FaultMap) -> usize {
+    assert!(map.width() <= 32, "u32 code words cap the width at 32");
+    for ev in map.events() {
+        codes[ev.index] = ev.apply(codes[ev.index] as u64) as u32;
+    }
+    map.len()
+}
+
+/// Corrupt a raw f32 tensor in place, striking the IEEE-754 bit
+/// patterns themselves (the FP32 baseline of a fault campaign).
+/// Returns the number of elements struck.
+///
+/// # Panics
+///
+/// Panics if the map was not sampled at width 32 or an event index is
+/// out of bounds.
+pub fn inject_f32(data: &mut [f32], map: &FaultMap) -> usize {
+    assert_eq!(
+        map.width(),
+        32,
+        "f32 fault maps must be sampled at width 32"
+    );
+    for ev in map.events() {
+        data[ev.index] = f32::from_bits(ev.apply(data[ev.index].to_bits() as u64) as u32);
+    }
+    map.len()
+}
+
+/// Convenience: sample `spec` for the buffer and inject in one step.
+/// Returns the number of words struck.
+pub fn inject_packed_with(codes: &mut PackedCodes, spec: &FaultSpec) -> usize {
+    let map = spec.sample(codes.len(), codes.width());
+    inject_packed(codes, &map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn packed(width: u32, n: usize) -> PackedCodes {
+        let mut p = PackedCodes::new(width);
+        for i in 0..n {
+            p.push(i as u64);
+        }
+        p
+    }
+
+    #[test]
+    fn zero_rate_injection_is_a_noop() {
+        let mut p = packed(7, 300);
+        let clean = p.clone();
+        let struck = inject_packed_with(&mut p, &FaultSpec::single_bit(0.0, 123));
+        assert_eq!(struck, 0);
+        assert_eq!(p, clean, "zero-fault campaign must be bit-identical");
+
+        let mut raw = vec![1.5f32; 64];
+        let map = FaultSpec::single_bit(0.0, 9).sample(raw.len(), 32);
+        assert_eq!(inject_f32(&mut raw, &map), 0);
+        assert!(raw.iter().all(|&v| v.to_bits() == 1.5f32.to_bits()));
+    }
+
+    #[test]
+    fn packed_and_unpacked_agree() {
+        // The same map applied to packed storage and to the unpacked
+        // word array must corrupt identically.
+        let width = 6;
+        let mut p = packed(width, 200);
+        let mut words: Vec<u32> = p.iter().map(|c| c as u32).collect();
+        let map = FaultSpec::single_bit(0.2, 77).sample(200, width);
+        let a = inject_packed(&mut p, &map);
+        let b = inject_codes(&mut words, &map);
+        assert_eq!(a, b);
+        assert!(a > 0, "rate 0.2 over 200 words should strike");
+        let repacked: Vec<u32> = p.iter().map(|c| c as u32).collect();
+        assert_eq!(repacked, words);
+    }
+
+    #[test]
+    fn single_bit_injection_flips_exactly_one_bit() {
+        let mut p = packed(8, 100);
+        let before: Vec<u64> = p.iter().collect();
+        let map = FaultSpec::single_bit(1.0, 4).sample(100, 8);
+        inject_packed(&mut p, &map);
+        for (i, &b) in before.iter().enumerate() {
+            assert_eq!((p.get(i) ^ b).count_ones(), 1, "word {i}");
+        }
+    }
+
+    #[test]
+    fn f32_injection_can_manufacture_nonfinites() {
+        // Stuck-at-1 on f32 exponent bits eventually yields Inf/NaN —
+        // the hazard the hardened decode exists for.
+        let mut data = vec![1.0f32; 4096];
+        let spec = FaultSpec {
+            kind: FaultKind::MultiBit { flips: 8 },
+            rate: 1.0,
+            seed: 21,
+        };
+        let map = spec.sample(data.len(), 32);
+        inject_f32(&mut data, &map);
+        assert!(
+            data.iter().any(|v| !v.is_finite()),
+            "8-bit upsets on 4096 f32s should produce at least one non-finite"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_injection_order() {
+        // Injecting the same map into two copies gives identical buffers.
+        let map = FaultSpec::single_bit(0.3, 55).sample(150, 5);
+        let mut a = packed(5, 150);
+        let mut b = packed(5, 150);
+        inject_packed(&mut a, &map);
+        inject_packed(&mut b, &map);
+        assert_eq!(a, b);
+    }
+}

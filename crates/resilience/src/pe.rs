@@ -1,0 +1,179 @@
+//! Seeded fault plans for the PE datapath hooks in `af-hw`.
+//!
+//! Storage injection corrupts bits *at rest*; [`PeFaultPlan`] corrupts
+//! bits *in flight*, implementing [`DatapathFaults`] so the bit-accurate
+//! `hfint_dot_with_faults` / `int_dot_scaled_with_faults` models can be
+//! run under transient upsets. Decisions are keyed per `(stage, lane)`
+//! from the campaign seed — the same determinism scheme as storage
+//! injection — so a plan is reusable across calls and thread counts.
+
+use crate::rng::SplitMix64;
+use af_hw::DatapathFaults;
+use std::cell::Cell;
+
+/// Stage keys for the decision domains.
+const DOMAIN_PRODUCT: u64 = 10;
+const DOMAIN_ACCUMULATOR: u64 = 11;
+
+/// A seeded transient-fault plan for one PE invocation: each multiplier
+/// output and accumulator update is struck independently with
+/// `rate`, flipping one uniformly-chosen low datapath bit
+/// (bit 0..`datapath_bits`). The exponent-bias register is flipped when
+/// `bias_flip_mask` is non-zero — a single register, so it is either
+/// faulted or not rather than sampled per lane.
+#[derive(Debug)]
+pub struct PeFaultPlan {
+    seed: u64,
+    rate: f64,
+    datapath_bits: u32,
+    bias_flip_mask: i32,
+    injected: Cell<u64>,
+}
+
+impl PeFaultPlan {
+    /// Plan striking multiplier outputs and accumulator state with
+    /// per-lane probability `rate`, flipping one bit below
+    /// `datapath_bits` (the modeled register width).
+    pub fn new(seed: u64, rate: f64, datapath_bits: u32) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        assert!((1..=100).contains(&datapath_bits), "datapath width 1..=100");
+        PeFaultPlan {
+            seed,
+            rate,
+            datapath_bits,
+            bias_flip_mask: 0,
+            injected: Cell::new(0),
+        }
+    }
+
+    /// Additionally XOR the exponent-bias register with `mask`.
+    pub fn with_bias_flip(mut self, mask: i32) -> Self {
+        self.bias_flip_mask = mask;
+        self
+    }
+
+    /// Number of upsets this plan has injected so far (across all
+    /// hooks; bias flips count once per register read).
+    pub fn injected(&self) -> u64 {
+        self.injected.get()
+    }
+
+    fn strike(&self, domain: u64, lane: usize, value: i128) -> i128 {
+        if self.rate == 0.0 {
+            return value;
+        }
+        let mut hit = SplitMix64::for_element(self.seed, domain, lane as u64);
+        if hit.next_f64() >= self.rate {
+            return value;
+        }
+        let mut shape = SplitMix64::for_element(self.seed, domain ^ 0xFF, lane as u64);
+        let bit = shape.next_below(self.datapath_bits as u64);
+        self.injected.set(self.injected.get() + 1);
+        value ^ (1i128 << bit)
+    }
+}
+
+impl DatapathFaults for PeFaultPlan {
+    fn on_product(&self, lane: usize, product: i128) -> i128 {
+        self.strike(DOMAIN_PRODUCT, lane, product)
+    }
+
+    fn on_accumulator(&self, lane: usize, acc: i128) -> i128 {
+        self.strike(DOMAIN_ACCUMULATOR, lane, acc)
+    }
+
+    fn on_exp_bias(&self, bias: i32) -> i32 {
+        if self.bias_flip_mask != 0 {
+            self.injected.set(self.injected.get() + 1);
+            bias ^ self.bias_flip_mask
+        } else {
+            bias
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptivfloat::AdaptivFloat;
+    use af_hw::arith::{hfint_dot, hfint_dot_with_faults};
+
+    fn operands() -> (
+        AdaptivFloat,
+        adaptivfloat::AdaptivParams,
+        Vec<u32>,
+        Vec<u32>,
+    ) {
+        let fmt = AdaptivFloat::new(8, 3).unwrap();
+        let w: Vec<f32> = (0..32).map(|i| ((i % 13) as f32 - 6.0) * 0.21).collect();
+        let a: Vec<f32> = (0..32).map(|i| ((i % 11) as f32 - 5.0) * 0.17).collect();
+        let params = fmt.params_for(&w);
+        let wc = w.iter().map(|&v| fmt.encode_with(&params, v)).collect();
+        let ac = a.iter().map(|&v| fmt.encode_with(&params, v)).collect();
+        (fmt, params, wc, ac)
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_clean() {
+        let (fmt, params, wc, ac) = operands();
+        let plan = PeFaultPlan::new(9, 0.0, 30);
+        let clean = hfint_dot(&fmt, &params, &params, &wc, &ac);
+        let faulty = hfint_dot_with_faults(&fmt, &params, &params, &wc, &ac, &plan);
+        assert_eq!(clean.0, faulty.0);
+        assert_eq!(clean.1.to_bits(), faulty.1.to_bits());
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn full_rate_plan_perturbs_and_counts() {
+        let (fmt, params, wc, ac) = operands();
+        let plan = PeFaultPlan::new(9, 1.0, 30);
+        let clean = hfint_dot(&fmt, &params, &params, &wc, &ac);
+        let faulty = hfint_dot_with_faults(&fmt, &params, &params, &wc, &ac, &plan);
+        assert_ne!(clean.0, faulty.0, "rate-1 strikes must perturb the MAC");
+        assert!(plan.injected() > 0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_faulty_result() {
+        let (fmt, params, wc, ac) = operands();
+        let a = hfint_dot_with_faults(
+            &fmt,
+            &params,
+            &params,
+            &wc,
+            &ac,
+            &PeFaultPlan::new(4, 0.3, 30),
+        );
+        let b = hfint_dot_with_faults(
+            &fmt,
+            &params,
+            &params,
+            &wc,
+            &ac,
+            &PeFaultPlan::new(4, 0.3, 30),
+        );
+        let c = hfint_dot_with_faults(
+            &fmt,
+            &params,
+            &params,
+            &wc,
+            &ac,
+            &PeFaultPlan::new(5, 0.3, 30),
+        );
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_ne!(a.0, c.0, "different seed should strike differently");
+    }
+
+    #[test]
+    fn bias_flip_rescales_output() {
+        let (fmt, params, wc, ac) = operands();
+        let plan = PeFaultPlan::new(0, 0.0, 30).with_bias_flip(0b100);
+        let clean = hfint_dot(&fmt, &params, &params, &wc, &ac);
+        let faulty = hfint_dot_with_faults(&fmt, &params, &params, &wc, &ac, &plan);
+        assert_eq!(clean.0, faulty.0, "bias faults leave the integer alone");
+        assert_ne!(clean.1, faulty.1);
+        assert_eq!(plan.injected(), 2, "both bias registers read once");
+    }
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Snapshot the kernel micro-bench medians into BENCH_kernels.json.
+# Snapshot the kernel micro-bench medians into BENCH_kernels.json and
+# the fault-injection sweep into BENCH_resilience.json.
 #
 # Runs the `quantize_kernels` bench twice — once pinned to a single
 # thread (AF_NUM_THREADS=1, isolating the kernel speedups) and once with
@@ -72,3 +73,9 @@ print(f"wrote {out} ({len(t1)} + {len(allt)} bench records)")
 if speedup is not None:
     print(f"single-thread fast vs reference (AdaptivFloat<8,3>, 1M elems): {speedup}x")
 PY
+
+echo
+echo "== resilience snapshot (fault_sweep --quick) =="
+cargo run --release -q -p af-bench --bin fault_sweep -- \
+    --quick --out BENCH_resilience.json >/dev/null
+echo "wrote BENCH_resilience.json"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The repo's CI gate: formatting, lints, the full test suite, and a
+# quick fault_sweep smoke run that checks the emitted JSON is sound.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== fault_sweep smoke (--quick) =="
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+cargo run --release -q -p af-bench --bin fault_sweep -- \
+    --quick --out "$TMP_DIR/BENCH_resilience.json" >/dev/null
+python3 - "$TMP_DIR/BENCH_resilience.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "fault_sweep", doc.get("bench")
+assert doc["storage"], "no storage cells"
+assert doc["end_task"], "no end-task cells"
+zero = [c for c in doc["storage"] if c["rate"] == 0]
+assert zero and all(c["faults_injected"] == 0 for c in zero)
+print(f"ok: {len(doc['storage'])} storage cells, {len(doc['end_task'])} end-task cells")
+PY
+
+echo "CI green."
