@@ -1,0 +1,18 @@
+//! Run the serving load test and write `BENCH_serving.json`.
+//!
+//! Usage: `cargo run --release -p af-bench --bin serve_load [--quick] [--out PATH]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let serving = af_bench::serving::run(quick);
+    println!("{}", serving.rendered);
+    std::fs::write(&out, &serving.json).expect("write BENCH_serving.json");
+    println!("\nwrote {out} ({} cells)", serving.cells.len());
+}

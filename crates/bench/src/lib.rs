@@ -23,6 +23,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod render;
 pub mod resilience;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;

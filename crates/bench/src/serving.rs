@@ -1,0 +1,347 @@
+//! Serving load test: drive the `af-serve` endpoint over real TCP and
+//! measure throughput and tail latency per format variant and batching
+//! configuration.
+//!
+//! Each cell spins up a fresh [`Engine`] + [`Server`] (over one shared
+//! model registry), aims a closed loop of persistent-connection clients
+//! at a single variant, and records per-request latency client-side.
+//! Percentiles are exact (sorted sample, not a sketch), shed counts come
+//! from the engine's own counters, and the first response of every cell
+//! is checked bit-for-bit against direct [`FrozenMlp::evaluate`] — a
+//! load test that silently served garbage would be worse than none.
+//!
+//! The `serve_load` binary prints the rendered table and writes the
+//! structured cells to `BENCH_serving.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptivfloat::FormatKind;
+use af_models::{FrozenMlp, ModelFamily};
+use af_serve::{Client, ClientError, Engine, EngineConfig, ModelRegistry, Server, VariantSpec};
+
+use crate::render::TextTable;
+
+/// Layer widths of the served model (Transformer-family ensemble).
+pub const DIMS: [usize; 4] = [96, 192, 192, 48];
+
+/// Synthesis seed for every served variant (same weights pre-PTQ).
+pub const MODEL_SEED: u64 = 0x5E12_F00D;
+
+/// One measured cell: variant × batching configuration.
+#[derive(Debug, Clone)]
+pub struct ServeCell {
+    /// Registry id of the variant driven.
+    pub variant: String,
+    /// Weight format name.
+    pub weight_format: String,
+    /// Activation format name (`"-"` for FP32 serving).
+    pub act_format: String,
+    /// Batch cap of this configuration.
+    pub max_batch: usize,
+    /// Batch-formation wait of this configuration, microseconds.
+    pub max_wait_us: u64,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Requests issued across all connections.
+    pub requests: usize,
+    /// Requests answered `200`.
+    pub completed: u64,
+    /// Requests shed (`429`).
+    pub shed: u64,
+    /// Completed requests per second over the cell's wall time.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Mean live requests per evaluate pass (batching effectiveness).
+    pub mean_batch: f64,
+}
+
+/// Load-test output: cells, the JSON document, and a rendered table.
+#[derive(Debug, Clone)]
+pub struct Serving {
+    /// One cell per variant × batch configuration.
+    pub cells: Vec<ServeCell>,
+    /// `BENCH_serving.json` contents.
+    pub json: String,
+    /// Rendered text table.
+    pub rendered: String,
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+fn variant_specs(quick: bool) -> Vec<VariantSpec> {
+    let mut specs = vec![
+        VariantSpec::fp32(
+            "transformer/fp32",
+            ModelFamily::Transformer,
+            MODEL_SEED,
+            &DIMS,
+        ),
+        VariantSpec::quantized(
+            "transformer/adaptivfloat8",
+            ModelFamily::Transformer,
+            FormatKind::AdaptivFloat,
+            8,
+            MODEL_SEED,
+            &DIMS,
+        ),
+    ];
+    if !quick {
+        specs.push(VariantSpec::quantized(
+            "transformer/uniform8",
+            ModelFamily::Transformer,
+            FormatKind::Uniform,
+            8,
+            MODEL_SEED,
+            &DIMS,
+        ));
+        specs.push(VariantSpec::quantized(
+            "transformer/posit8",
+            ModelFamily::Transformer,
+            FormatKind::Posit,
+            8,
+            MODEL_SEED,
+            &DIMS,
+        ));
+    }
+    specs
+}
+
+fn batch_configs(quick: bool) -> Vec<(usize, Duration)> {
+    if quick {
+        vec![(1, Duration::ZERO), (8, Duration::from_millis(1))]
+    } else {
+        vec![
+            (1, Duration::ZERO),
+            (8, Duration::from_millis(1)),
+            (32, Duration::from_millis(2)),
+        ]
+    }
+}
+
+/// Drive one variant through one server configuration; returns
+/// client-side latencies (µs) and the shed count observed client-side.
+fn drive(
+    addr: std::net::SocketAddr,
+    variant: &str,
+    reference: &FrozenMlp,
+    connections: usize,
+    per_conn: usize,
+) -> (Vec<u64>, u64) {
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let (addr, variant) = (addr, variant.to_string());
+            let in_dim = reference.in_dim();
+            // One bit-identity probe per cell, on the first connection.
+            let expect = if c == 0 {
+                let x = FrozenMlp::synth_inputs(1000, 1, in_dim);
+                Some((x.row(0).to_vec(), reference.evaluate(x.row(0))))
+            } else {
+                None
+            };
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect load client");
+                if let Some((input, want)) = expect {
+                    let got = client.infer(&variant, &input).expect("probe request");
+                    let got: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got, want, "served output must match direct evaluation");
+                }
+                let inputs = FrozenMlp::synth_inputs(2000 + c as u64, 16, in_dim);
+                let mut latencies = Vec::with_capacity(per_conn);
+                let mut shed = 0u64;
+                for r in 0..per_conn {
+                    let input = inputs.row(r % inputs.rows());
+                    let t0 = Instant::now();
+                    match client.infer(&variant, input) {
+                        Ok(_) => latencies.push(t0.elapsed().as_micros() as u64),
+                        Err(ClientError::Http { status: 429, .. }) => shed += 1,
+                        Err(e) => panic!("load request failed: {e}"),
+                    }
+                }
+                (latencies, shed)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut shed = 0u64;
+    for h in handles {
+        let (l, s) = h.join().expect("load connection panicked");
+        latencies.extend(l);
+        shed += s;
+    }
+    (latencies, shed)
+}
+
+/// Run the serving load test. `quick` trims the variant set, batch
+/// configurations, and request counts for CI.
+///
+/// # Panics
+///
+/// Panics if a variant fails to register, the server fails to bind
+/// `127.0.0.1:0`, or a served response is not bit-identical to direct
+/// evaluation.
+pub fn run(quick: bool) -> Serving {
+    let (connections, per_conn) = if quick { (4, 40) } else { (8, 200) };
+    let registry = Arc::new(ModelRegistry::new());
+    let specs = variant_specs(quick);
+    for spec in &specs {
+        registry.register(spec).expect("register variant");
+    }
+
+    let mut cells = Vec::new();
+    for (max_batch, max_wait) in batch_configs(quick) {
+        for spec in &specs {
+            let engine = Arc::new(Engine::start(
+                Arc::clone(&registry),
+                EngineConfig {
+                    max_batch,
+                    max_wait,
+                    ..EngineConfig::default()
+                },
+            ));
+            let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind server");
+            let reference = registry.get(&spec.id).expect("registered variant");
+            let t0 = Instant::now();
+            let (mut latencies, shed_seen) = drive(
+                server.addr(),
+                &spec.id,
+                &reference.model,
+                connections,
+                per_conn,
+            );
+            let wall = t0.elapsed().as_secs_f64();
+            let snap = engine.stats().snapshot();
+            assert_eq!(snap.shed, shed_seen, "server and client shed counts agree");
+            latencies.sort_unstable();
+            // The probe request is counted in `completed` but not timed.
+            cells.push(ServeCell {
+                variant: spec.id.clone(),
+                weight_format: reference.model.format_name().to_string(),
+                act_format: reference
+                    .model
+                    .act_format_name()
+                    .unwrap_or_else(|| "-".to_string()),
+                max_batch,
+                max_wait_us: max_wait.as_micros() as u64,
+                connections,
+                requests: connections * per_conn,
+                completed: snap.completed,
+                shed: snap.shed,
+                throughput_rps: snap.completed as f64 / wall.max(1e-9),
+                p50_us: percentile(&latencies, 0.50),
+                p95_us: percentile(&latencies, 0.95),
+                p99_us: percentile(&latencies, 0.99),
+                mean_batch: snap.mean_batch(),
+            });
+            server.shutdown();
+            engine.shutdown();
+        }
+    }
+
+    let json = render_json(quick, connections, per_conn, &cells);
+    let rendered = render_table(&cells);
+    Serving {
+        cells,
+        json,
+        rendered,
+    }
+}
+
+fn render_json(quick: bool, connections: usize, per_conn: usize, cells: &[ServeCell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_load\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"connections\": {connections},\n"));
+    out.push_str(&format!("  \"requests_per_connection\": {per_conn},\n"));
+    out.push_str(&format!(
+        "  \"model\": {{\"family\": \"Transformer\", \"dims\": {:?}, \"seed\": {}}},\n",
+        DIMS, MODEL_SEED
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"weight_format\": \"{}\", \"act_format\": \"{}\", \
+             \"max_batch\": {}, \"max_wait_us\": {}, \"requests\": {}, \"completed\": {}, \
+             \"shed\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"p99_us\": {}, \"mean_batch\": {:.3}}}{}\n",
+            c.variant,
+            c.weight_format,
+            c.act_format,
+            c.max_batch,
+            c.max_wait_us,
+            c.requests,
+            c.completed,
+            c.shed,
+            c.throughput_rps,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.mean_batch,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn render_table(cells: &[ServeCell]) -> String {
+    let mut t = TextTable::new([
+        "variant",
+        "batch",
+        "wait_us",
+        "rps",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "mean_batch",
+        "shed",
+    ]);
+    for c in cells {
+        t.row([
+            c.variant.clone(),
+            c.max_batch.to_string(),
+            c.max_wait_us.to_string(),
+            format!("{:.0}", c.throughput_rps),
+            c.p50_us.to_string(),
+            c.p95_us.to_string(),
+            c.p99_us.to_string(),
+            format!("{:.2}", c.mean_batch),
+            c.shed.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_on_small_samples() {
+        let s = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&s, 0.50), 60);
+        assert_eq!(percentile(&s, 0.95), 100);
+        assert_eq!(percentile(&s, 0.0), 10);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn quick_and_full_shapes() {
+        assert_eq!(variant_specs(true).len(), 2);
+        assert_eq!(variant_specs(false).len(), 4);
+        assert_eq!(batch_configs(true).len(), 2);
+        assert_eq!(batch_configs(false).len(), 3);
+    }
+}

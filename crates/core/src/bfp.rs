@@ -242,6 +242,17 @@ impl NumberFormat for BlockFloat {
         self.quantize_block_at(e, &mut out);
         out
     }
+
+    fn prewarm_codebooks(&self, max_abs: f32) -> bool {
+        use crate::lut::{self, LutKey};
+        if self.n > lut::MAX_LUT_BITS || max_abs == 0.0 {
+            return false;
+        }
+        let e = Self::shared_exponent(max_abs);
+        let key = LutKey::Bfp { n: self.n, exp: e };
+        lut::prewarm(key, |v| self.quantize_one_at(e, v));
+        true
+    }
 }
 
 #[cfg(test)]

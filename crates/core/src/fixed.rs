@@ -151,6 +151,19 @@ impl NumberFormat for FixedPoint {
     fn is_adaptive(&self) -> bool {
         false
     }
+
+    fn prewarm_codebooks(&self, _max_abs: f32) -> bool {
+        use crate::lut::{self, LutKey};
+        if self.n > lut::MAX_LUT_BITS {
+            return false;
+        }
+        let key = LutKey::Fixed {
+            n: self.n,
+            int_bits: self.int_bits,
+        };
+        lut::prewarm(key, |v| self.quantize_value(v));
+        true
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,19 @@ pub trait NumberFormat: Send + Sync + std::fmt::Debug {
         let _ = max_abs;
         self.quantize_slice(data)
     }
+
+    /// Pre-build any LUT codebooks the format would otherwise compile
+    /// lazily on its first quantize call at calibrated range `max_abs`
+    /// (the serving registry calls this at model-load time so the first
+    /// request never pays the build, nor the cache's write lock).
+    ///
+    /// Returns `true` if the format has a codebook path and it is now
+    /// warm; `false` for formats with no codebook (e.g. AdaptivFloat's
+    /// bit-twiddled kernel, which has no cached state).
+    fn prewarm_codebooks(&self, max_abs: f32) -> bool {
+        let _ = max_abs;
+        false
+    }
 }
 
 /// The five format families compared throughout the paper's evaluation.

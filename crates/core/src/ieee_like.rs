@@ -229,6 +229,19 @@ impl NumberFormat for IeeeLikeFloat {
     fn is_adaptive(&self) -> bool {
         false
     }
+
+    fn prewarm_codebooks(&self, _max_abs: f32) -> bool {
+        use crate::lut::{self, LutKey};
+        if self.n > lut::MAX_LUT_BITS {
+            return false;
+        }
+        let key = LutKey::Ieee {
+            n: self.n,
+            e: self.e,
+        };
+        lut::prewarm(key, |v| self.quantize_value(v));
+        true
+    }
 }
 
 #[cfg(test)]

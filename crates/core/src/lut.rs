@@ -25,7 +25,8 @@
 //! bit-exactness against the scalar paths for every format.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Bit pattern of +∞ (and the f32 exponent mask).
 const INF_BITS: u32 = 0x7f80_0000;
@@ -198,24 +199,74 @@ pub enum LutKey {
     },
 }
 
-fn cache() -> &'static Mutex<HashMap<LutKey, Arc<LutQuantizer>>> {
-    static CACHE: OnceLock<Mutex<HashMap<LutKey, Arc<LutQuantizer>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static RwLock<HashMap<LutKey, Arc<LutQuantizer>>> {
+    static CACHE: OnceLock<RwLock<HashMap<LutKey, Arc<LutQuantizer>>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
-/// Fetch the codebook for `key`, building it with `quantize` on a miss.
-/// The cache is process-wide and bounded (emptied at [`CACHE_CAP`]).
-pub fn cached(key: LutKey, quantize: impl Fn(f32) -> f32) -> Arc<LutQuantizer> {
-    let mut map = cache().lock().expect("lut cache poisoned");
+/// Number of times the cache's write lock has been taken (misses and
+/// prewarms). A warmed serve path must leave this untouched — see
+/// `tests/lut_prewarm.rs`.
+static WRITE_ACQUISITIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times the cache write lock has been acquired since process
+/// start. Read-path hits never touch the write lock, so a serving loop
+/// over prewarmed codebooks keeps this constant while it runs.
+pub fn write_lock_acquisitions() -> usize {
+    WRITE_ACQUISITIONS.load(Ordering::SeqCst)
+}
+
+/// Look up an already-built codebook without ever taking the write lock.
+pub fn lookup(key: &LutKey) -> Option<Arc<LutQuantizer>> {
+    cache()
+        .read()
+        .expect("lut cache poisoned")
+        .get(key)
+        .map(Arc::clone)
+}
+
+/// Whether a codebook for `key` is already resident.
+pub fn is_warm(key: &LutKey) -> bool {
+    lookup(key).is_some()
+}
+
+/// Insert `built` under `key` (keeping any table that raced us in).
+fn insert(key: LutKey, built: Arc<LutQuantizer>) -> Arc<LutQuantizer> {
+    WRITE_ACQUISITIONS.fetch_add(1, Ordering::SeqCst);
+    let mut map = cache().write().expect("lut cache poisoned");
     if let Some(hit) = map.get(&key) {
         return Arc::clone(hit);
     }
     if map.len() >= CACHE_CAP {
         map.clear();
     }
-    let built = Arc::new(LutQuantizer::build(quantize));
     map.insert(key, Arc::clone(&built));
     built
+}
+
+/// Fetch the codebook for `key`, building it with `quantize` on a miss.
+/// The cache is process-wide and bounded (emptied at [`CACHE_CAP`]).
+///
+/// Hits take only the read lock; misses build the table *outside* any
+/// lock (two racing builders both build, one insertion wins) and then
+/// take the write lock briefly to publish it.
+pub fn cached(key: LutKey, quantize: impl Fn(f32) -> f32) -> Arc<LutQuantizer> {
+    if let Some(hit) = lookup(&key) {
+        return hit;
+    }
+    insert(key, Arc::new(LutQuantizer::build(quantize)))
+}
+
+/// Build the codebook for `key` ahead of use (model-registration time)
+/// so the first request that needs it pays a read-lock lookup instead of
+/// a build under the write lock. Returns `true` if a table was built,
+/// `false` if one was already warm.
+pub fn prewarm(key: LutKey, quantize: impl Fn(f32) -> f32) -> bool {
+    if is_warm(&key) {
+        return false;
+    }
+    insert(key, Arc::new(LutQuantizer::build(quantize)));
+    true
 }
 
 #[cfg(test)]
@@ -281,5 +332,27 @@ mod tests {
             unreachable!("second call must hit the cache")
         });
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn prewarm_builds_once_then_serves_lookups() {
+        let key = LutKey::Fixed { n: 5, int_bits: 1 };
+        let q = |v: f32| {
+            if v.is_nan() {
+                0.0
+            } else {
+                ((v as f64) * 8.0).round().clamp(-8.0, 8.0) as f32 / 8.0
+            }
+        };
+        let first = prewarm(key, q);
+        // Whether or not another test warmed it first, a second prewarm
+        // must be a no-op and lookups must resolve without a builder.
+        assert!(!prewarm(key, |_| unreachable!("already warm")));
+        let _ = first;
+        assert!(is_warm(&key));
+        let table = lookup(&key).expect("warm after prewarm");
+        let via_cached = cached(key, |_| unreachable!("must hit the cache"));
+        assert!(Arc::ptr_eq(&table, &via_cached));
+        assert_eq!(table.quantize_one(0.3).to_bits(), q(0.3).to_bits());
     }
 }

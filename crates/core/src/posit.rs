@@ -272,6 +272,19 @@ impl NumberFormat for Posit {
     fn is_adaptive(&self) -> bool {
         false
     }
+
+    fn prewarm_codebooks(&self, _max_abs: f32) -> bool {
+        use crate::lut::{self, LutKey};
+        if self.n > lut::MAX_LUT_BITS {
+            return false;
+        }
+        let key = LutKey::Posit {
+            n: self.n,
+            es: self.es,
+        };
+        lut::prewarm(key, |v| self.quantize_value(v));
+        true
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,24 @@ impl NumberFormat for Uniform {
     fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
         self.quantize_with_scale(self.scale_for(max_abs), data)
     }
+
+    fn prewarm_codebooks(&self, max_abs: f32) -> bool {
+        use crate::lut::{self, LutKey};
+        if self.n > lut::MAX_LUT_BITS {
+            return false;
+        }
+        // Same key/closure pair the quantize path uses, so a calibrated
+        // serve path at this max hits the warmed table.
+        let scale = self.scale_for(max_abs);
+        let key = LutKey::Uniform {
+            n: self.n,
+            scale_bits: scale.to_bits(),
+        };
+        lut::prewarm(key, |v| {
+            (self.quantize_level(scale, v) as f64 * scale) as f32
+        });
+        true
+    }
 }
 
 #[cfg(test)]

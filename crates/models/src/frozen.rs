@@ -1,0 +1,374 @@
+//! Frozen inference snapshots: the immutable, thread-shareable model
+//! artifact the serving engine ships requests through.
+//!
+//! The training models in this crate ([`crate::MiniResNet`] & co.) are
+//! `&mut self` objects carrying optimizers, data streams, and autograd
+//! tapes — the wrong shape for a server that fans one `Arc`'d model out
+//! across worker threads. A [`FrozenMlp`] is the deployment rendering:
+//! a stack of dense layers whose weights were synthesized from the
+//! paper-calibrated [`crate::ensembles`] ranges (Table 1 / Figure 1),
+//! quantized **once** at registration time, with optional calibrated
+//! activation quantization exactly as the paper prescribes ("informed
+//! from statistics during offline batch inference", §IV).
+//!
+//! ## The bit-identity invariant
+//!
+//! [`FrozenMlp::evaluate_batch`] over any batch must produce, row for
+//! row, **bit-identical** outputs to per-sample [`FrozenMlp::evaluate`]
+//! — at any batch size and any `AF_NUM_THREADS`. This is what makes
+//! dynamic micro-batching a pure throughput optimization: a request's
+//! answer cannot depend on which other requests shared its batch. It
+//! holds because every stage is row-independent: the cache-blocked
+//! matmul accumulates each output element in ascending-`k` order
+//! regardless of tiling or thread count, bias add and ReLU are
+//! elementwise, and calibrated activation quantization is an
+//! elementwise map under a *fixed* per-layer range (never a per-batch
+//! statistic). `tests/frozen_batch.rs` pins the invariant.
+
+use adaptivfloat::{FormatError, FormatKind, NumberFormat};
+use af_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ensembles::EnsembleKind;
+use crate::model::ModelFamily;
+
+/// One dense layer of a frozen network: `y = x · W + b`.
+#[derive(Debug, Clone)]
+struct FrozenLayer {
+    /// `[in, out]` row-major weight matrix.
+    weight: Tensor,
+    /// `[out]` bias (kept FP32, as is conventional).
+    bias: Tensor,
+}
+
+/// Calibrated activation quantization: one format applied to every
+/// layer input under a fixed per-layer range.
+#[derive(Debug)]
+struct ActQuant {
+    format: Box<dyn NumberFormat>,
+    /// Calibrated abs-max of each layer's input.
+    max: Vec<f32>,
+}
+
+/// An immutable feed-forward inference snapshot (ReLU MLP).
+///
+/// Construction is a builder chain, mirroring a serving registry's
+/// load path: [`synthesize`](FrozenMlp::synthesize) →
+/// [`quantize_weights`](FrozenMlp::quantize_weights) →
+/// [`with_act_quant`](FrozenMlp::with_act_quant) →
+/// [`prewarm_codebooks`](FrozenMlp::prewarm_codebooks).
+#[derive(Debug)]
+pub struct FrozenMlp {
+    family: ModelFamily,
+    format: String,
+    layers: Vec<FrozenLayer>,
+    act: Option<ActQuant>,
+}
+
+fn ensemble_kind(family: ModelFamily) -> EnsembleKind {
+    match family {
+        ModelFamily::Transformer => EnsembleKind::Transformer,
+        ModelFamily::Seq2Seq => EnsembleKind::Seq2Seq,
+        ModelFamily::ResNet => EnsembleKind::ResNet50,
+    }
+}
+
+impl FrozenMlp {
+    /// Synthesize an FP32 snapshot with layer widths `dims`
+    /// (`dims[0]` inputs → `dims.last()` outputs) whose per-layer weight
+    /// distributions follow the family's paper-calibrated ensemble.
+    /// Deterministic under `(family, seed, dims)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has fewer than two entries or any zero width.
+    pub fn synthesize(family: ModelFamily, seed: u64, dims: &[usize]) -> FrozenMlp {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let n_layers = dims.len() - 1;
+        let layer_size = dims
+            .windows(2)
+            .map(|w| w[0] * w[1])
+            .max()
+            .expect("at least one layer")
+            .max(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ensemble = ensemble_kind(family).generate(&mut rng, n_layers, layer_size);
+        let layers = ensemble
+            .layers
+            .into_iter()
+            .zip(dims.windows(2))
+            .map(|((_, w), d)| {
+                let (cin, cout) = (d[0], d[1]);
+                let bias: Vec<f32> = (0..cout).map(|_| rng.gen_range(-0.1f32..0.1)).collect();
+                FrozenLayer {
+                    weight: Tensor::from_vec(w[..cin * cout].to_vec(), &[cin, cout]),
+                    bias: Tensor::from_vec(bias, &[cout]),
+                }
+            })
+            .collect();
+        FrozenMlp {
+            family,
+            format: "fp32".to_string(),
+            layers,
+            act: None,
+        }
+    }
+
+    /// A deterministic input batch (`rows × in_dim`, values in ±2) —
+    /// used for activation calibration, tests, and load generation.
+    pub fn synth_inputs(seed: u64, rows: usize, in_dim: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * in_dim)
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
+        Tensor::from_vec(data, &[rows, in_dim])
+    }
+
+    /// Quantize every weight matrix per-tensor through `kind` at word
+    /// size `n` (the registration-time PTQ step; biases stay FP32).
+    /// Call before [`with_act_quant`](Self::with_act_quant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the format cannot be
+    /// built at `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activation quantization is already installed (weights
+    /// must be frozen before activation ranges are calibrated).
+    pub fn quantize_weights(self, kind: FormatKind, n: u32) -> Result<FrozenMlp, FormatError> {
+        assert!(
+            self.act.is_none(),
+            "quantize weights before calibrating activations"
+        );
+        let fmt = kind.build(n)?;
+        let layers = self
+            .layers
+            .into_iter()
+            .map(|l| {
+                let shape = l.weight.shape().to_vec();
+                let q = fmt.quantize_slice(l.weight.data());
+                FrozenLayer {
+                    weight: Tensor::from_vec(q, &shape),
+                    bias: l.bias,
+                }
+            })
+            .collect();
+        Ok(FrozenMlp {
+            family: self.family,
+            format: fmt.name(),
+            layers,
+            act: self.act,
+        })
+    }
+
+    /// Install calibrated activation quantization: run `calib` (a
+    /// `[rows, in_dim]` batch) through the network once, record each
+    /// layer input's abs-max, and quantize every layer input through
+    /// `kind` at word size `n` under those fixed ranges from then on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the format cannot be
+    /// built at `n`.
+    pub fn with_act_quant(
+        mut self,
+        kind: FormatKind,
+        n: u32,
+        calib: &Tensor,
+    ) -> Result<FrozenMlp, FormatError> {
+        let fmt = kind.build(n)?;
+        let last = self.layers.len() - 1;
+        let mut max = Vec::with_capacity(self.layers.len());
+        let mut x = calib.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            max.push(x.abs_max().max(f32::MIN_POSITIVE));
+            x = x.matmul(&layer.weight).add_row(&layer.bias);
+            if l < last {
+                x = x.map(|v| v.max(0.0));
+            }
+        }
+        self.act = Some(ActQuant { format: fmt, max });
+        Ok(self)
+    }
+
+    /// Pre-build the LUT codebooks the activation-quantization path will
+    /// need, so no request ever pays a codebook build (or the cache's
+    /// write lock). Returns how many layers report a warm codebook path.
+    pub fn prewarm_codebooks(&self) -> usize {
+        match &self.act {
+            None => 0,
+            Some(act) => act
+                .max
+                .iter()
+                .filter(|&&m| act.format.prewarm_codebooks(m))
+                .count(),
+        }
+    }
+
+    /// The model family whose weight distribution this snapshot carries.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// The weight format name (`"fp32"` until quantized).
+    pub fn format_name(&self) -> &str {
+        &self.format
+    }
+
+    /// The activation format name, if activation quantization is on.
+    pub fn act_format_name(&self) -> Option<String> {
+        self.act.as_ref().map(|a| a.format.name())
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].weight.shape()[0]
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].weight.shape()[1]
+    }
+
+    /// Number of dense layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total scalar parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weight.len() + l.bias.len())
+            .sum()
+    }
+
+    /// Per-sample forward pass — the serving reference semantics.
+    ///
+    /// Implemented as an independent naive loop (ascending-`k`
+    /// accumulation per output element) rather than by delegating to
+    /// [`evaluate_batch`](Self::evaluate_batch), so the batch path's
+    /// bit-identity is checked against separately-written code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.in_dim()`.
+    pub fn evaluate(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_dim(), "input width mismatch");
+        let last = self.layers.len() - 1;
+        let mut x = input.to_vec();
+        for (l, layer) in self.layers.iter().enumerate() {
+            if let Some(act) = &self.act {
+                x = act.format.quantize_slice_with_max(act.max[l], &x);
+            }
+            let out = layer.weight.shape()[1];
+            let w = layer.weight.data();
+            let mut y = vec![0.0f32; out];
+            for (p, &a) in x.iter().enumerate() {
+                let w_row = &w[p * out..(p + 1) * out];
+                for (o, &wv) in y.iter_mut().zip(w_row) {
+                    *o += a * wv;
+                }
+            }
+            for (o, &b) in y.iter_mut().zip(layer.bias.data()) {
+                *o += b;
+            }
+            if l < last {
+                for o in y.iter_mut() {
+                    *o = o.max(0.0);
+                }
+            }
+            x = y;
+        }
+        x
+    }
+
+    /// Batched forward pass over `[batch, in_dim]` inputs — one blocked
+    /// matmul per layer. Row `i` of the result is bit-identical to
+    /// `self.evaluate(inputs.row(i))` at any batch size and thread count
+    /// (see the module docs for why).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not rank 2 with `in_dim` columns.
+    pub fn evaluate_batch(&self, inputs: &Tensor) -> Tensor {
+        assert_eq!(inputs.rank(), 2, "inputs must be [batch, in_dim]");
+        assert_eq!(inputs.cols(), self.in_dim(), "input width mismatch");
+        let last = self.layers.len() - 1;
+        let mut x = inputs.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            if let Some(act) = &self.act {
+                let q = act.format.quantize_slice_with_max(act.max[l], x.data());
+                x = Tensor::from_vec(q, x.shape());
+            }
+            x = x.matmul(&layer.weight).add_row(&layer.bias);
+            if l < last {
+                x = x.map(|v| v.max(0.0));
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_is_deterministic_and_shaped() {
+        let a = FrozenMlp::synthesize(ModelFamily::ResNet, 9, &[12, 20, 6]);
+        let b = FrozenMlp::synthesize(ModelFamily::ResNet, 9, &[12, 20, 6]);
+        assert_eq!(a.in_dim(), 12);
+        assert_eq!(a.out_dim(), 6);
+        assert_eq!(a.depth(), 2);
+        assert_eq!(a.param_count(), 12 * 20 + 20 + 20 * 6 + 6);
+        let x = FrozenMlp::synth_inputs(3, 1, 12);
+        assert_eq!(a.evaluate(x.row(0)), b.evaluate(x.row(0)));
+        // Different seed, different weights.
+        let c = FrozenMlp::synthesize(ModelFamily::ResNet, 10, &[12, 20, 6]);
+        assert_ne!(a.evaluate(x.row(0)), c.evaluate(x.row(0)));
+    }
+
+    #[test]
+    fn quantized_weights_change_outputs_but_stay_deterministic() {
+        let base = FrozenMlp::synthesize(ModelFamily::Transformer, 4, &[16, 24, 8]);
+        let x = FrozenMlp::synth_inputs(5, 1, 16);
+        let fp32 = base.evaluate(x.row(0));
+        let q = FrozenMlp::synthesize(ModelFamily::Transformer, 4, &[16, 24, 8])
+            .quantize_weights(FormatKind::AdaptivFloat, 4)
+            .unwrap();
+        assert_eq!(q.format_name(), "AdaptivFloat<4,3>");
+        let ql = q.evaluate(x.row(0));
+        assert_ne!(fp32, ql, "4-bit weights must perturb the outputs");
+        assert_eq!(ql, q.evaluate(x.row(0)));
+    }
+
+    #[test]
+    fn act_quant_calibration_is_deterministic() {
+        let build = || {
+            let calib = FrozenMlp::synth_inputs(77, 16, 10);
+            FrozenMlp::synthesize(ModelFamily::Seq2Seq, 8, &[10, 32, 4])
+                .quantize_weights(FormatKind::Uniform, 8)
+                .unwrap()
+                .with_act_quant(FormatKind::Uniform, 8, &calib)
+                .unwrap()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.act_format_name().as_deref(), Some("Uniform<8>"));
+        let x = FrozenMlp::synth_inputs(6, 1, 10);
+        let (ya, yb) = (a.evaluate(x.row(0)), b.evaluate(x.row(0)));
+        assert_eq!(ya, yb);
+        assert!(a.prewarm_codebooks() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_rejected() {
+        let m = FrozenMlp::synthesize(ModelFamily::ResNet, 1, &[8, 4]);
+        m.evaluate(&[0.0; 7]);
+    }
+}

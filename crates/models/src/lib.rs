@@ -18,6 +18,7 @@
 
 pub mod data;
 pub mod ensembles;
+pub mod frozen;
 pub mod metrics;
 pub mod model;
 pub mod positional;
@@ -25,6 +26,7 @@ pub mod resnet;
 pub mod seq2seq;
 pub mod transformer;
 
+pub use frozen::FrozenMlp;
 pub use model::{evaluate_with_weight_transform, ModelFamily, QuantizableModel};
 pub use resnet::MiniResNet;
 pub use seq2seq::Seq2Seq;

@@ -1,0 +1,84 @@
+//! Pins the micro-batching invariant the serving engine is built on:
+//! `FrozenMlp::evaluate_batch` is bit-identical, row for row, to
+//! per-sample `FrozenMlp::evaluate` — at every batch size, for FP32 and
+//! for every quantized format, with and without calibrated activation
+//! quantization.
+//!
+//! `scripts/ci.sh` runs this suite twice (default threads and
+//! `AF_NUM_THREADS=1`) so the thread-count half of the invariant is
+//! exercised too: the blocked matmul's ascending-k accumulation makes
+//! the outputs independent of how rows are fanned out.
+
+use adaptivfloat::FormatKind;
+use af_models::{FrozenMlp, ModelFamily};
+
+const BATCH_SIZES: [usize; 6] = [1, 2, 3, 5, 16, 33];
+
+fn assert_batch_matches_per_sample(model: &FrozenMlp, label: &str) {
+    for &batch in &BATCH_SIZES {
+        let inputs = FrozenMlp::synth_inputs(0xBA7C + batch as u64, batch, model.in_dim());
+        let batched = model.evaluate_batch(&inputs);
+        assert_eq!(batched.shape(), &[batch, model.out_dim()], "{label}");
+        for r in 0..batch {
+            let single = model.evaluate(inputs.row(r));
+            let got: Vec<u32> = batched.row(r).iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got, want,
+                "{label}: batch {batch} row {r} diverged from per-sample evaluate"
+            );
+        }
+    }
+}
+
+#[test]
+fn fp32_batch_is_bit_identical_to_per_sample() {
+    for family in [
+        ModelFamily::Transformer,
+        ModelFamily::Seq2Seq,
+        ModelFamily::ResNet,
+    ] {
+        let m = FrozenMlp::synthesize(family, 21, &[40, 48, 24]);
+        assert_batch_matches_per_sample(&m, family.label());
+    }
+}
+
+#[test]
+fn quantized_weight_batch_is_bit_identical_to_per_sample() {
+    for kind in FormatKind::ALL {
+        let m = FrozenMlp::synthesize(ModelFamily::Transformer, 22, &[40, 48, 24])
+            .quantize_weights(kind, 8)
+            .unwrap();
+        assert_batch_matches_per_sample(&m, m.format_name().to_string().as_str());
+    }
+}
+
+#[test]
+fn act_quantized_batch_is_bit_identical_to_per_sample() {
+    // Activation quantization is the serve-path stage most tempted to
+    // peek at batch statistics; the calibrated-max contract forbids it.
+    let calib = FrozenMlp::synth_inputs(0xCA11, 32, 40);
+    for kind in FormatKind::ALL {
+        let m = FrozenMlp::synthesize(ModelFamily::Seq2Seq, 23, &[40, 48, 24])
+            .quantize_weights(kind, 8)
+            .unwrap()
+            .with_act_quant(kind, 8, &calib)
+            .unwrap();
+        let label = format!("{} + act", m.format_name());
+        assert_batch_matches_per_sample(&m, &label);
+    }
+}
+
+#[test]
+fn narrow_input_crossing_the_lut_threshold_stays_bit_identical() {
+    // in_dim 20 < MIN_LUT_LEN: a single sample quantizes activations on
+    // the scalar path while larger batches take the LUT codebook; the
+    // two are bit-exact by construction, and this pins it end to end.
+    let calib = FrozenMlp::synth_inputs(0x17, 32, 20);
+    let m = FrozenMlp::synthesize(ModelFamily::ResNet, 24, &[20, 48, 24])
+        .quantize_weights(FormatKind::Uniform, 8)
+        .unwrap()
+        .with_act_quant(FormatKind::Uniform, 8, &calib)
+        .unwrap();
+    assert_batch_matches_per_sample(&m, "Uniform<8> narrow input");
+}

@@ -1,0 +1,525 @@
+//! The serving engine: one micro-batching lane per registered variant,
+//! admission control in front, deadlines throughout.
+//!
+//! Every variant owns a bounded [`BatchQueue`] and one worker thread.
+//! [`Engine::infer`] validates the request against the current registry
+//! snapshot, admits it (or sheds with [`ServeError::Overloaded`]), and
+//! blocks on a reply channel. The worker forms batches under the
+//! `(max_batch, max_wait)` policy, drops requests whose deadline
+//! already passed, re-reads the registry so hot swaps take effect at
+//! batch granularity, and answers each row of one
+//! [`af_models::FrozenMlp::evaluate_batch`] pass — bit-identical to per-sample
+//! evaluation by the invariant pinned in `af-models`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use af_tensor::Tensor;
+
+use crate::queue::{BatchQueue, PushError};
+use crate::registry::ModelRegistry;
+use crate::stats::ServeStats;
+
+/// Batching, admission, and deadline policy for every lane.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Largest batch one evaluate pass may carry.
+    pub max_batch: usize,
+    /// How long an open batch waits for company before evaluating.
+    pub max_wait: Duration,
+    /// Bounded queue capacity per variant (admission limit).
+    pub queue_cap: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Synthetic per-batch service time, for load tests and saturation
+    /// experiments (zero in production configurations).
+    pub service_delay: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+            default_deadline: Duration::from_secs(2),
+            service_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Why a request was not answered with an output vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No variant registered under this id.
+    UnknownModel(String),
+    /// Input width does not match the variant.
+    BadInput {
+        /// The variant's input width.
+        expected: usize,
+        /// What the request carried.
+        got: usize,
+    },
+    /// The variant's queue is full — request shed.
+    Overloaded,
+    /// The deadline passed before the request was evaluated.
+    DeadlineExceeded,
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The HTTP status the protocol layer maps this error onto.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::UnknownModel(_) => 404,
+            ServeError::BadInput { .. } => 400,
+            ServeError::Overloaded => 429,
+            ServeError::DeadlineExceeded => 504,
+            ServeError::ShuttingDown => 503,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(id) => write!(f, "unknown model variant: {id}"),
+            ServeError::BadInput { expected, got } => {
+                write!(f, "bad input width: expected {expected}, got {got}")
+            }
+            ServeError::Overloaded => write!(f, "overloaded: queue full, request shed"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before evaluation"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One admitted request waiting in a lane.
+#[derive(Debug)]
+struct Job {
+    input: Vec<f32>,
+    deadline: Instant,
+    reply: mpsc::Sender<Result<Vec<f32>, ServeError>>,
+}
+
+#[derive(Debug)]
+struct Lane {
+    queue: Arc<BatchQueue<Job>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The serving engine — also the in-process client used by tests.
+#[derive(Debug)]
+pub struct Engine {
+    registry: Arc<ModelRegistry>,
+    cfg: EngineConfig,
+    lanes: HashMap<String, Lane>,
+    stats: Arc<ServeStats>,
+    stopping: AtomicBool,
+}
+
+impl Engine {
+    /// Spawn one micro-batching lane per variant currently registered.
+    /// (Variants registered afterwards are hot-swappable snapshots of
+    /// *existing* lanes; new ids need a new engine.)
+    pub fn start(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Engine {
+        let stats = Arc::new(ServeStats::default());
+        let mut lanes = HashMap::new();
+        for id in registry.ids() {
+            let queue = Arc::new(BatchQueue::bounded(cfg.queue_cap));
+            let worker = {
+                let (id, queue) = (id.clone(), Arc::clone(&queue));
+                let (registry, stats) = (Arc::clone(&registry), Arc::clone(&stats));
+                std::thread::Builder::new()
+                    .name(format!("af-serve:{id}"))
+                    .spawn(move || run_lane(&id, &queue, &registry, &stats, cfg))
+                    .expect("spawn lane worker")
+            };
+            lanes.insert(
+                id,
+                Lane {
+                    queue,
+                    worker: Mutex::new(Some(worker)),
+                },
+            );
+        }
+        Engine {
+            registry,
+            cfg,
+            lanes,
+            stats,
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The engine's counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The engine's policy.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Current queue depth of a lane.
+    pub fn queue_depth(&self, id: &str) -> Option<usize> {
+        self.lanes.get(id).map(|l| l.queue.len())
+    }
+
+    /// Serve one request under the default deadline (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]: unknown variant, bad width, shed, expired
+    /// deadline, or shutdown.
+    pub fn infer(&self, model: &str, input: Vec<f32>) -> Result<Vec<f32>, ServeError> {
+        self.infer_deadline(model, input, self.cfg.default_deadline)
+    }
+
+    /// Serve one request that must complete within `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]: unknown variant, bad width, shed, expired
+    /// deadline, or shutdown.
+    pub fn infer_deadline(
+        &self,
+        model: &str,
+        input: Vec<f32>,
+        deadline: Duration,
+    ) -> Result<Vec<f32>, ServeError> {
+        self.stats.on_received();
+        if self.stopping.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let lane = self
+            .lanes
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let variant = self
+            .registry
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let expected = variant.model.in_dim();
+        if input.len() != expected {
+            return Err(ServeError::BadInput {
+                expected,
+                got: input.len(),
+            });
+        }
+        let (reply, receiver) = mpsc::channel();
+        let job = Job {
+            input,
+            deadline: Instant::now() + deadline,
+            reply,
+        };
+        lane.queue.try_push(job).map_err(|e| match e {
+            PushError::Full => {
+                self.stats.on_shed();
+                ServeError::Overloaded
+            }
+            PushError::Closed => ServeError::ShuttingDown,
+        })?;
+        self.stats.on_admitted();
+        receiver.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Engine-wide stats plus per-lane detail as a JSON document (the
+    /// body of `GET /stats`).
+    pub fn stats_json(&self) -> String {
+        let mut lanes = String::new();
+        for (i, id) in self.registry.ids().iter().enumerate() {
+            if i > 0 {
+                lanes.push(',');
+            }
+            let depth = self.queue_depth(id).unwrap_or(0);
+            match self.registry.get(id) {
+                Some(v) => {
+                    let act = v
+                        .model
+                        .act_format_name()
+                        .map_or("null".to_string(), |a| format!("\"{a}\""));
+                    lanes.push_str(&format!(
+                        "{{\"id\":\"{}\",\"family\":\"{}\",\"weight_format\":\"{}\",\
+                         \"act_format\":{},\"in_dim\":{},\"out_dim\":{},\"params\":{},\
+                         \"generation\":{},\"warmed_codebooks\":{},\"queue_depth\":{}}}",
+                        v.id,
+                        v.model.family().label(),
+                        v.model.format_name(),
+                        act,
+                        v.model.in_dim(),
+                        v.model.out_dim(),
+                        v.model.param_count(),
+                        v.generation,
+                        v.warmed_codebooks,
+                        depth,
+                    ));
+                }
+                None => lanes.push_str(&format!("{{\"id\":\"{id}\",\"queue_depth\":{depth}}}")),
+            }
+        }
+        format!(
+            "{{{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"variants\":[{}]}}\n",
+            self.stats.snapshot().json_fields(),
+            self.cfg.max_batch,
+            self.cfg.max_wait.as_micros(),
+            self.cfg.queue_cap,
+            lanes,
+        )
+    }
+
+    /// Stop admitting, drain every lane, and join the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        for lane in self.lanes.values() {
+            lane.queue.close();
+        }
+        for lane in self.lanes.values() {
+            if let Some(worker) = lane.worker.lock().expect("lane poisoned").take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One lane's worker loop: form a batch, drop the dead, evaluate the
+/// rest as a single pass, fan the rows back out.
+fn run_lane(
+    id: &str,
+    queue: &BatchQueue<Job>,
+    registry: &ModelRegistry,
+    stats: &ServeStats,
+    cfg: EngineConfig,
+) {
+    while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
+        if batch.is_empty() {
+            continue;
+        }
+        if cfg.service_delay > Duration::ZERO {
+            std::thread::sleep(cfg.service_delay);
+        }
+        let snapshot = registry.get(id);
+        let now = Instant::now();
+        let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.deadline < now {
+                stats.on_expired();
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let Some(variant) = snapshot else {
+            for job in live {
+                let _ = job
+                    .reply
+                    .send(Err(ServeError::UnknownModel(id.to_string())));
+            }
+            continue;
+        };
+        // A hot swap may have changed the input width between admission
+        // and evaluation; answer mismatches instead of panicking.
+        let in_dim = variant.model.in_dim();
+        let mut rows: Vec<Job> = Vec::with_capacity(live.len());
+        for job in live {
+            if job.input.len() == in_dim {
+                rows.push(job);
+            } else {
+                let _ = job.reply.send(Err(ServeError::BadInput {
+                    expected: in_dim,
+                    got: job.input.len(),
+                }));
+            }
+        }
+        if rows.is_empty() {
+            continue;
+        }
+        stats.on_batch(rows.len());
+        let mut flat = Vec::with_capacity(rows.len() * in_dim);
+        for job in &rows {
+            flat.extend_from_slice(&job.input);
+        }
+        let inputs = Tensor::from_vec(flat, &[rows.len(), in_dim]);
+        let outputs = variant.model.evaluate_batch(&inputs);
+        for (r, job) in rows.into_iter().enumerate() {
+            stats.on_completed();
+            let _ = job.reply.send(Ok(outputs.row(r).to_vec()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::VariantSpec;
+    use adaptivfloat::FormatKind;
+    use af_models::{FrozenMlp, ModelFamily};
+
+    fn registry() -> Arc<ModelRegistry> {
+        let reg = ModelRegistry::new();
+        reg.register(&VariantSpec::fp32(
+            "resnet/fp32",
+            ModelFamily::ResNet,
+            3,
+            &[12, 24, 6],
+        ))
+        .unwrap();
+        reg.register(&VariantSpec::quantized(
+            "resnet/adaptivfloat8",
+            ModelFamily::ResNet,
+            FormatKind::AdaptivFloat,
+            8,
+            3,
+            &[12, 24, 6],
+        ))
+        .unwrap();
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn batched_replies_are_bit_identical_to_direct_evaluation() {
+        let reg = registry();
+        let engine = Arc::new(Engine::start(
+            Arc::clone(&reg),
+            EngineConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(5),
+                ..EngineConfig::default()
+            },
+        ));
+        let handles: Vec<_> = (0..16u64)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let id = if i % 2 == 0 {
+                        "resnet/fp32"
+                    } else {
+                        "resnet/adaptivfloat8"
+                    };
+                    let x = FrozenMlp::synth_inputs(100 + i, 1, 12);
+                    (id, x.row(0).to_vec(), engine.infer(id, x.row(0).to_vec()))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (id, input, got) = h.join().unwrap();
+            let direct = reg.get(id).unwrap().model.evaluate(&input);
+            let got: Vec<u32> = got.unwrap().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = direct.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "{id}");
+        }
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.completed, 16);
+        assert_eq!(snap.shed, 0);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_width_are_rejected_at_admission() {
+        let engine = Engine::start(registry(), EngineConfig::default());
+        assert!(matches!(
+            engine.infer("nope", vec![0.0; 12]),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert_eq!(
+            engine.infer("resnet/fp32", vec![0.0; 5]),
+            Err(ServeError::BadInput {
+                expected: 12,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn saturated_queue_sheds_instead_of_queueing_unboundedly() {
+        let engine = Arc::new(Engine::start(
+            registry(),
+            EngineConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_cap: 2,
+                service_delay: Duration::from_millis(60),
+                ..EngineConfig::default()
+            },
+        ));
+        let handles: Vec<_> = (0..10u64)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let x = FrozenMlp::synth_inputs(i, 1, 12);
+                    engine.infer("resnet/fp32", x.row(0).to_vec())
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(ServeError::Overloaded)))
+            .count();
+        assert!(ok >= 1, "some requests must be served");
+        assert!(shed >= 1, "a saturated bounded queue must shed");
+        assert_eq!(ok + shed, 10, "unexpected third outcome: {results:?}");
+        assert_eq!(engine.stats().snapshot().shed, shed as u64);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_evaluated() {
+        let engine = Engine::start(
+            registry(),
+            EngineConfig {
+                max_batch: 4,
+                max_wait: Duration::ZERO,
+                service_delay: Duration::from_millis(40),
+                ..EngineConfig::default()
+            },
+        );
+        let x = FrozenMlp::synth_inputs(9, 1, 12);
+        // Deadline far shorter than the synthetic service time.
+        let got = engine.infer_deadline("resnet/fp32", x.row(0).to_vec(), Duration::from_millis(5));
+        assert_eq!(got, Err(ServeError::DeadlineExceeded));
+        assert_eq!(engine.stats().snapshot().expired, 1);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let engine = Engine::start(registry(), EngineConfig::default());
+        engine.shutdown();
+        let x = FrozenMlp::synth_inputs(1, 1, 12);
+        assert_eq!(
+            engine.infer("resnet/fp32", x.row(0).to_vec()),
+            Err(ServeError::ShuttingDown)
+        );
+    }
+
+    #[test]
+    fn stats_json_lists_variants() {
+        let engine = Engine::start(registry(), EngineConfig::default());
+        let json = engine.stats_json();
+        assert!(json.contains("\"id\":\"resnet/adaptivfloat8\""));
+        assert!(json.contains("\"weight_format\":\"AdaptivFloat<8,3>\""));
+        assert!(json.contains("\"queue_depth\":0"));
+    }
+}

@@ -1,0 +1,151 @@
+//! A persistent-connection client for the serving endpoint — used by
+//! the e2e tests and the `serve_load` harness, and small enough to
+//! embed anywhere.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::http::{decode_f32_body, encode_f32_body, read_response, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The server answered with a non-200 status.
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The server's plain-text error body.
+        message: String,
+    },
+    /// The server answered 200 but the body did not decode.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Http { status, message } => write!(f, "http {status}: {message}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One keep-alive connection to a serving endpoint.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Open a persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the connection cannot be established.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client { reader, writer })
+    }
+
+    fn round_trip(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_header: Option<(&str, &str)>,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        write!(self.writer, "{method} {path} HTTP/1.1\r\n")?;
+        if let Some((name, value)) = extra_header {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        write!(self.writer, "content-length: {}\r\n\r\n", body.len())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        Ok(read_response(&mut self.reader)?)
+    }
+
+    /// `GET /healthz`; `true` when the server answers `200`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure.
+    pub fn healthz(&mut self) -> Result<bool, ClientError> {
+        Ok(self.round_trip("GET", "/healthz", None, &[])?.status == 200)
+    }
+
+    /// `GET /stats` — the engine's counters as a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or a non-200 status.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        let resp = self.round_trip("GET", "/stats", None, &[])?;
+        if resp.status != 200 {
+            return Err(ClientError::Http {
+                status: resp.status,
+                message: String::from_utf8_lossy(&resp.body).into_owned(),
+            });
+        }
+        Ok(String::from_utf8_lossy(&resp.body).into_owned())
+    }
+
+    /// Infer under the server's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Http`] carries the serving-layer status (404
+    /// unknown variant, 400 bad input, 429 shed, 504 deadline).
+    pub fn infer(&mut self, variant: &str, input: &[f32]) -> Result<Vec<f32>, ClientError> {
+        self.infer_inner(variant, input, None)
+    }
+
+    /// Infer with an explicit deadline, in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::infer`].
+    pub fn infer_with_deadline_ms(
+        &mut self,
+        variant: &str,
+        input: &[f32],
+        deadline_ms: u64,
+    ) -> Result<Vec<f32>, ClientError> {
+        self.infer_inner(variant, input, Some(deadline_ms))
+    }
+
+    fn infer_inner(
+        &mut self,
+        variant: &str,
+        input: &[f32],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<f32>, ClientError> {
+        let path = format!("/v1/infer/{variant}");
+        let deadline = deadline_ms.map(|ms| ms.to_string());
+        let header = deadline.as_deref().map(|v| ("x-deadline-ms", v));
+        let body = encode_f32_body(input);
+        let resp = self.round_trip("POST", &path, header, &body)?;
+        if resp.status != 200 {
+            return Err(ClientError::Http {
+                status: resp.status,
+                message: String::from_utf8_lossy(&resp.body).into_owned(),
+            });
+        }
+        decode_f32_body(&resp.body)
+            .ok_or_else(|| ClientError::Protocol("undecodable f32 response body".to_string()))
+    }
+}

@@ -1,0 +1,324 @@
+//! A deliberately small HTTP/1.1 subset over `std::io` streams: enough
+//! for `GET /healthz`, `GET /stats`, and `POST /v1/infer/<variant>`
+//! with a binary body, and nothing more.
+//!
+//! Inference payloads are length-delimited little-endian `f32` vectors
+//! (`u32` element count, then the elements), framed inside the HTTP
+//! body by `Content-Length`. Both sides of the wire use the same
+//! [`encode_f32_body`] / [`decode_f32_body`] pair so the float bits the
+//! client sends are exactly the bits the engine evaluates.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest request/response body accepted (4 MiB — far above any toy
+/// model's feature width, far below a memory hazard).
+pub const MAX_BODY: usize = 4 << 20;
+
+/// Longest accepted request/status/header line.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Most headers accepted per message.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request head plus its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, uppercased by the client as sent (`GET`, `POST`).
+    pub method: String,
+    /// Request target, e.g. `/v1/infer/transformer/adaptivfloat8`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed response: status code plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+fn read_line_capped(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "header line too long",
+                    ));
+                }
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header line"))
+}
+
+fn read_headers(reader: &mut impl BufRead) -> io::Result<(Vec<(String, String)>, usize)> {
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line_capped(reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+            if content_length > MAX_BODY {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+            }
+        }
+        headers.push((name, value));
+    }
+    Ok((headers, content_length))
+}
+
+fn read_body(reader: &mut impl BufRead, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Read one request from a connection. `Ok(None)` means the peer closed
+/// the connection cleanly between requests (keep-alive ending).
+///
+/// # Errors
+///
+/// I/O failure, or a malformed / oversized message
+/// (`ErrorKind::InvalidData`).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(start) = read_line_capped(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = start.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let (headers, content_length) = read_headers(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Read one response from a connection (client side).
+///
+/// # Errors
+///
+/// I/O failure, or a malformed / oversized message.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let status_line = read_line_capped(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))?;
+    // "HTTP/1.1 200 OK"
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let (headers, content_length) = read_headers(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one keep-alive response.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the stream.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Frame an `f32` vector as a binary body: `u32` little-endian count,
+/// then each value as little-endian bits.
+pub fn encode_f32_body(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + values.len() * 4);
+    out.extend_from_slice(
+        &u32::try_from(values.len())
+            .expect("vector too long")
+            .to_le_bytes(),
+    );
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a body produced by [`encode_f32_body`]. Returns `None` when
+/// the framing is inconsistent (bad count or trailing bytes).
+pub fn decode_f32_body(body: &[u8]) -> Option<Vec<f32>> {
+    if body.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(body[..4].try_into().ok()?) as usize;
+    if body.len() != 4 + count * 4 {
+        return None;
+    }
+    let mut values = Vec::with_capacity(count);
+    for chunk in body[4..].chunks_exact(4) {
+        values.push(f32::from_le_bytes(chunk.try_into().ok()?));
+    }
+    Some(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn f32_body_roundtrips_bit_exactly() {
+        let values = vec![0.0, -0.0, 1.5, f32::MIN_POSITIVE, -3.25e-7, 1.0e30];
+        let decoded = decode_f32_body(&encode_f32_body(&values)).unwrap();
+        let got: Vec<u32> = decoded.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bad_framing_is_rejected() {
+        assert_eq!(decode_f32_body(&[]), None);
+        assert_eq!(decode_f32_body(&[2, 0, 0, 0, 1, 2, 3, 4]), None);
+        let mut long = encode_f32_body(&[1.0]);
+        long.push(0);
+        assert_eq!(decode_f32_body(&long), None);
+    }
+
+    #[test]
+    fn request_roundtrip_through_buffers() {
+        let body = encode_f32_body(&[1.0, 2.0]);
+        let mut wire = format!(
+            "POST /v1/infer/m HTTP/1.1\r\nx-deadline-ms: 250\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(&body);
+        let mut reader = BufReader::new(&wire[..]);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/infer/m");
+        assert_eq!(req.header("x-deadline-ms"), Some("250"));
+        assert_eq!(decode_f32_body(&req.body).unwrap(), vec![1.0, 2.0]);
+        // Clean EOF between requests reads as None.
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_roundtrip_through_buffers() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 429, "text/plain", b"overloaded").unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, b"overloaded");
+        assert_eq!(resp.header_value("connection"), Some("keep-alive"));
+    }
+
+    impl Response {
+        fn header_value(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    #[test]
+    fn oversized_content_length_is_refused() {
+        let wire = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let mut reader = BufReader::new(wire.as_bytes());
+        let err = read_request(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

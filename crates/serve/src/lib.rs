@@ -1,0 +1,47 @@
+//! # af-serve — the quantized inference serving engine
+//!
+//! Turns the workspace's quantization kernels, LUT codebooks, and
+//! scoped-thread runtime into an end-to-end inference stack, built only
+//! on `std` (`TcpListener`, threads, channels). Four layers:
+//!
+//! 1. **Model registry** ([`registry`]) — loads [`af_models::FrozenMlp`]
+//!    snapshots, quantizes their weights once per `(FormatKind, n)`
+//!    variant at registration, calibrates activation ranges, pre-warms
+//!    the LUT codebooks (`adaptivfloat::lut::prewarm`), and hands out
+//!    immutable `Arc`-shared snapshots — hot-swapping a variant never
+//!    blocks an in-flight request.
+//! 2. **Dynamic micro-batching** ([`batcher`], [`queue`]) — requests
+//!    accumulate per variant until `max_batch` or a `max_wait` deadline
+//!    fires, then evaluate as one blocked-matmul pass. Invariant:
+//!    batched outputs are **bit-identical** to single-request
+//!    evaluation (row-independent ascending-k accumulation; pinned by
+//!    `af-models/tests/frozen_batch.rs` and `tests/serve_e2e.rs`).
+//! 3. **Admission & backpressure** — each variant owns a bounded queue;
+//!    a full queue sheds load with an explicit `429` instead of growing
+//!    latency without bound, and per-request deadlines turn into `504`s
+//!    rather than zombie work.
+//! 4. **Protocol** ([`http`], [`server`], [`client`]) — a minimal
+//!    HTTP/1.1 handler (`GET /healthz`, `GET /stats`,
+//!    `POST /v1/infer/<variant>` with a length-delimited little-endian
+//!    `f32` body) plus a persistent-connection [`client::Client`].
+//!
+//! The in-process path ([`Engine::infer`](batcher::Engine::infer)) and
+//! the TCP path share every layer below the protocol, so tests can
+//! drive either.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use batcher::{Engine, EngineConfig, ServeError};
+pub use client::{Client, ClientError};
+pub use registry::{ModelRegistry, ModelVariant, VariantSpec};
+pub use server::Server;
+pub use stats::{ServeStats, StatsSnapshot};

@@ -1,0 +1,217 @@
+//! The bounded micro-batching queue: admission control and batch
+//! formation in one structure.
+//!
+//! [`BatchQueue::try_push`] is the admission edge — it never blocks and
+//! never grows past the configured capacity, so overload turns into an
+//! explicit [`PushError::Full`] (a load-shed response upstream) instead
+//! of unbounded queueing delay. [`BatchQueue::pop_batch`] is the batch
+//! former: it blocks for the first request, then keeps collecting until
+//! either `max_batch` requests are in hand or `max_wait` has elapsed
+//! since the batch opened — the classic latency/throughput dial.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why an admission attempt was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the request.
+    Full,
+    /// The queue has been closed (engine shutting down).
+    Closed,
+}
+
+/// A bounded MPMC queue with deadline-driven batch draining.
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue admitting at most `cap` waiting items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn bounded(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        BatchQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Admit one item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Number of items currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Close the queue: future pushes fail with [`PushError::Closed`];
+    /// waiting poppers drain what is left and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Form the next batch: block for the first item, then collect until
+    /// `max_batch` items are in hand or `max_wait` has elapsed since the
+    /// batch opened. Returns `None` only when the queue is closed and
+    /// fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if !s.items.is_empty() {
+                break;
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+        let deadline = Instant::now() + max_wait;
+        let mut batch = Vec::with_capacity(max_batch.min(s.items.len()));
+        loop {
+            while batch.len() < max_batch {
+                match s.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || s.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .available
+                .wait_timeout(s, deadline - now)
+                .expect("queue poisoned");
+            s = guard;
+            if timeout.timed_out() && s.items.is_empty() {
+                break;
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity_instead_of_growing() {
+        let q = BatchQueue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        // Draining frees capacity again.
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        q.try_push(4).unwrap();
+    }
+
+    #[test]
+    fn full_batch_returns_without_waiting() {
+        let q = BatchQueue::bounded(16);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let t0 = Instant::now();
+        let batch = q.pop_batch(4, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert!(t0.elapsed() < Duration::from_secs(1), "must not wait");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn partial_batch_released_at_deadline() {
+        let q = BatchQueue::bounded(16);
+        q.try_push(7).unwrap();
+        let t0 = Instant::now();
+        let batch = q.pop_batch(8, Duration::from_millis(30)).unwrap();
+        assert_eq!(batch, vec![7]);
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(25), "waited {waited:?}");
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_rejects_pushes() {
+        let q = Arc::new(BatchQueue::<u32>::bounded(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+        assert_eq!(q.try_push(1), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn late_arrivals_join_an_open_batch() {
+        let q = Arc::new(BatchQueue::bounded(16));
+        q.try_push(1).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(15));
+                q.try_push(2).unwrap();
+            })
+        };
+        let batch = q.pop_batch(2, Duration::from_secs(5)).unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch, vec![1, 2], "second arrival must close the batch");
+    }
+}

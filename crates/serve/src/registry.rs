@@ -1,0 +1,237 @@
+//! The model registry: where model variants are built **once** — weight
+//! quantization, activation calibration, LUT prewarm — and then served
+//! as immutable `Arc`-shared snapshots.
+//!
+//! Registration is the expensive path (runs PTQ over every weight
+//! tensor, a calibration forward pass, and the codebook builds); the
+//! serve path is a read-locked map lookup returning an
+//! [`Arc<ModelVariant>`]. Re-registering an id is a **hot swap**: the
+//! map entry is replaced under a brief write lock, while in-flight
+//! batches keep evaluating against the `Arc` they already cloned.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use adaptivfloat::{FormatError, FormatKind};
+use af_models::{FrozenMlp, ModelFamily};
+
+/// Everything needed to build one servable model variant.
+#[derive(Debug, Clone)]
+pub struct VariantSpec {
+    /// Registry key, e.g. `"transformer/adaptivfloat8"`.
+    pub id: String,
+    /// Which weight-distribution family to synthesize.
+    pub family: ModelFamily,
+    /// Layer widths, input first (`dims[0]` = request feature width).
+    pub dims: Vec<usize>,
+    /// Synthesis seed (deterministic snapshots under equal specs).
+    pub seed: u64,
+    /// Weight PTQ format, or `None` to serve FP32 weights.
+    pub weight_format: Option<(FormatKind, u32)>,
+    /// Calibrated activation-quantization format, or `None`.
+    pub act_format: Option<(FormatKind, u32)>,
+}
+
+impl VariantSpec {
+    /// An FP32 reference variant.
+    pub fn fp32(id: &str, family: ModelFamily, seed: u64, dims: &[usize]) -> VariantSpec {
+        VariantSpec {
+            id: id.to_string(),
+            family,
+            dims: dims.to_vec(),
+            seed,
+            weight_format: None,
+            act_format: None,
+        }
+    }
+
+    /// A fully quantized variant: weights *and* activations through
+    /// `kind` at word size `n` (the paper's Table 3 configuration).
+    pub fn quantized(
+        id: &str,
+        family: ModelFamily,
+        kind: FormatKind,
+        n: u32,
+        seed: u64,
+        dims: &[usize],
+    ) -> VariantSpec {
+        VariantSpec {
+            id: id.to_string(),
+            family,
+            dims: dims.to_vec(),
+            seed,
+            weight_format: Some((kind, n)),
+            act_format: Some((kind, n)),
+        }
+    }
+}
+
+/// One registered, immutable, servable snapshot.
+#[derive(Debug)]
+pub struct ModelVariant {
+    /// Registry key.
+    pub id: String,
+    /// The frozen inference network.
+    pub model: FrozenMlp,
+    /// Codebook-path layers warmed at registration time.
+    pub warmed_codebooks: usize,
+    /// Bumped on every hot swap of this id (0 for the first build).
+    pub generation: u64,
+}
+
+/// Rows of calibration inputs used when a variant quantizes activations.
+const CALIB_ROWS: usize = 64;
+
+/// The id → snapshot map. Cheap to share (`Arc<ModelRegistry>`); the
+/// serve path takes only the read lock.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    inner: RwLock<HashMap<String, Arc<ModelVariant>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Build and publish a variant. Quantizes weights once, calibrates
+    /// activation ranges on a deterministic batch, pre-warms LUT
+    /// codebooks, and swaps the snapshot in atomically. Returns the
+    /// published snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if a requested format
+    /// cannot be built at its word size.
+    pub fn register(&self, spec: &VariantSpec) -> Result<Arc<ModelVariant>, FormatError> {
+        let mut model = FrozenMlp::synthesize(spec.family, spec.seed, &spec.dims);
+        if let Some((kind, n)) = spec.weight_format {
+            model = model.quantize_weights(kind, n)?;
+        }
+        if let Some((kind, n)) = spec.act_format {
+            let calib = FrozenMlp::synth_inputs(spec.seed ^ 0xCA11_B8A7, CALIB_ROWS, spec.dims[0]);
+            model = model.with_act_quant(kind, n, &calib)?;
+        }
+        let warmed_codebooks = model.prewarm_codebooks();
+        let mut map = self.inner.write().expect("registry poisoned");
+        let generation = map.get(&spec.id).map_or(0, |v| v.generation + 1);
+        let variant = Arc::new(ModelVariant {
+            id: spec.id.clone(),
+            model,
+            warmed_codebooks,
+            generation,
+        });
+        map.insert(spec.id.clone(), Arc::clone(&variant));
+        Ok(variant)
+    }
+
+    /// Fetch the current snapshot for `id` (read lock + `Arc` clone).
+    pub fn get(&self, id: &str) -> Option<Arc<ModelVariant>> {
+        self.inner
+            .read()
+            .expect("registry poisoned")
+            .get(id)
+            .map(Arc::clone)
+    }
+
+    /// All registered ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .inner
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered variants.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("registry poisoned").len()
+    }
+
+    /// Whether no variants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: &str) -> VariantSpec {
+        VariantSpec::quantized(
+            id,
+            ModelFamily::ResNet,
+            FormatKind::Uniform,
+            8,
+            5,
+            &[16, 32, 8],
+        )
+    }
+
+    #[test]
+    fn register_builds_quantized_warm_snapshot() {
+        let reg = ModelRegistry::new();
+        let v = reg.register(&spec("resnet/uniform8")).unwrap();
+        assert_eq!(v.model.format_name(), "Uniform<8>");
+        assert_eq!(v.model.act_format_name().as_deref(), Some("Uniform<8>"));
+        assert!(v.warmed_codebooks > 0, "LUT formats must warm codebooks");
+        assert_eq!(v.generation, 0);
+        assert_eq!(reg.ids(), vec!["resnet/uniform8".to_string()]);
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn hot_swap_replaces_snapshot_without_touching_old_arc() {
+        let reg = ModelRegistry::new();
+        let old = reg.register(&spec("m")).unwrap();
+        let x = FrozenMlp::synth_inputs(1, 1, 16);
+        let before = old.model.evaluate(x.row(0));
+        // Swap in a different seed — a new snapshot under the same id.
+        let mut s2 = spec("m");
+        s2.seed = 6;
+        let new = reg.register(&s2).unwrap();
+        assert_eq!(new.generation, 1);
+        assert!(!Arc::ptr_eq(&old, &new));
+        // The old Arc (an in-flight batch) still evaluates identically.
+        let after: Vec<u32> = old
+            .model
+            .evaluate(x.row(0))
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let before: Vec<u32> = before.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before, after);
+        // New lookups see the swapped snapshot.
+        let current = reg.get("m").unwrap();
+        assert!(Arc::ptr_eq(&current, &new));
+    }
+
+    #[test]
+    fn deterministic_under_equal_spec() {
+        let (ra, rb) = (ModelRegistry::new(), ModelRegistry::new());
+        let (a, b) = (
+            ra.register(&spec("m")).unwrap(),
+            rb.register(&spec("m")).unwrap(),
+        );
+        let x = FrozenMlp::synth_inputs(2, 1, 16);
+        let ya: Vec<u32> = a
+            .model
+            .evaluate(x.row(0))
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let yb: Vec<u32> = b
+            .model
+            .evaluate(x.row(0))
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(ya, yb);
+    }
+}

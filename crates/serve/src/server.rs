@@ -1,0 +1,255 @@
+//! The TCP front end: a `std::net::TcpListener` acceptor plus one
+//! handler thread per connection, routing the three endpoints onto an
+//! [`Engine`].
+//!
+//! Routes:
+//!
+//! * `GET /healthz` — `200 ok` while the server is accepting.
+//! * `GET /stats` — engine counters and per-variant detail as JSON.
+//! * `POST /v1/infer/<variant>` — body is a length-delimited `f32`
+//!   vector ([`crate::http::encode_f32_body`]); an optional
+//!   `x-deadline-ms` header overrides the engine's default deadline.
+//!   Errors map onto [`ServeError::http_status`]: 404 unknown variant,
+//!   400 bad width or framing, 429 shed, 504 deadline, 503 shutdown.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::batcher::Engine;
+use crate::http::{decode_f32_body, encode_f32_body, read_request, write_response, Request};
+
+/// How long a connection handler blocks in `read` before re-checking
+/// for shutdown.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// A running serving endpoint bound to a local address.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// accepting connections for `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let (stop, engine) = (Arc::clone(&stop), Arc::clone(&engine));
+            std::thread::Builder::new()
+                .name("af-serve:accept".to_string())
+                .spawn(move || accept_loop(&listener, &stop, &engine))?
+        };
+        Ok(Server {
+            addr,
+            stop,
+            acceptor: Mutex::new(Some(acceptor)),
+            engine,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stop accepting, wake the acceptor, and join it. Existing
+    /// connections drain on their next read timeout. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.lock().expect("acceptor poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, engine: &Arc<Engine>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let (stop, engine) = (Arc::clone(stop), Arc::clone(engine));
+        let _ = std::thread::Builder::new()
+            .name("af-serve:conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &stop, &engine);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, stop: &AtomicBool, engine: &Engine) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                write_response(&mut writer, 400, "text/plain", e.to_string().as_bytes())?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        route(&request, engine, &mut writer)?;
+    }
+}
+
+fn route(request: &Request, engine: &Engine, writer: &mut impl io::Write) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => write_response(writer, 200, "text/plain", b"ok"),
+        ("GET", "/stats") => write_response(
+            writer,
+            200,
+            "application/json",
+            engine.stats_json().as_bytes(),
+        ),
+        ("POST", path) if path.starts_with("/v1/infer/") => {
+            let variant = &path["/v1/infer/".len()..];
+            infer_route(request, variant, engine, writer)
+        }
+        (_, "/healthz" | "/stats") | ("POST", _) => {
+            write_response(writer, 405, "text/plain", b"method not allowed")
+        }
+        _ => write_response(writer, 404, "text/plain", b"no such route"),
+    }
+}
+
+fn infer_route(
+    request: &Request,
+    variant: &str,
+    engine: &Engine,
+    writer: &mut impl io::Write,
+) -> io::Result<()> {
+    let Some(input) = decode_f32_body(&request.body) else {
+        return write_response(writer, 400, "text/plain", b"malformed f32 body");
+    };
+    let deadline = match request.header("x-deadline-ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => return write_response(writer, 400, "text/plain", b"malformed x-deadline-ms"),
+        },
+        None => None,
+    };
+    let result = match deadline {
+        Some(d) => engine.infer_deadline(variant, input, d),
+        None => engine.infer(variant, input),
+    };
+    match result {
+        Ok(output) => write_response(
+            writer,
+            200,
+            "application/octet-stream",
+            &encode_f32_body(&output),
+        ),
+        Err(e) => write_response(
+            writer,
+            e.http_status(),
+            "text/plain",
+            e.to_string().as_bytes(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::EngineConfig;
+    use crate::client::Client;
+    use crate::registry::{ModelRegistry, VariantSpec};
+    use af_models::ModelFamily;
+
+    fn server() -> Server {
+        let reg = ModelRegistry::new();
+        reg.register(&VariantSpec::fp32(
+            "m",
+            ModelFamily::Seq2Seq,
+            11,
+            &[8, 12, 4],
+        ))
+        .unwrap();
+        let engine = Arc::new(Engine::start(Arc::new(reg), EngineConfig::default()));
+        Server::bind("127.0.0.1:0", engine).unwrap()
+    }
+
+    #[test]
+    fn routes_health_stats_and_errors() {
+        let server = server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client.healthz().unwrap());
+        let stats = client.stats_json().unwrap();
+        assert!(stats.contains("\"received\":"));
+        // Unknown route and unknown variant.
+        let err = client.infer("ghost", &[0.0; 8]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Http { status: 404, .. }
+        ));
+        let err = client.infer("m", &[0.0; 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::ClientError::Http { status: 400, .. }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn served_output_matches_direct_evaluation_bitwise() {
+        let server = server();
+        let engine = Arc::clone(server.engine());
+        let mut client = Client::connect(server.addr()).unwrap();
+        let x = af_models::FrozenMlp::synth_inputs(3, 1, 8);
+        let input = x.row(0).to_vec();
+        let served = client.infer("m", &input).unwrap();
+        let direct = engine.registry().get("m").unwrap().model.evaluate(&input);
+        let got: Vec<u32> = served.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = direct.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,147 @@
+//! Serving counters: lock-free atomics bumped on the hot path, read as
+//! a consistent-enough snapshot by `GET /stats` and the load harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-lifetime serving counters (relaxed atomics — each counter is
+/// individually exact; a snapshot across counters is approximate, which
+/// is fine for monitoring).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    received: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl ServeStats {
+    /// A request reached admission.
+    pub fn on_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered a variant queue.
+    pub fn on_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was shed because its queue was full.
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request's deadline expired before evaluation.
+    pub fn on_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was answered successfully.
+    pub fn on_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch of `size` live requests went through one evaluate pass.
+    pub fn on_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Read every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests that reached admission.
+    pub received: u64,
+    /// Requests that entered a queue.
+    pub admitted: u64,
+    /// Requests shed at a full queue.
+    pub shed: u64,
+    /// Requests whose deadline expired before evaluation.
+    pub expired: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Evaluate passes run.
+    pub batches: u64,
+    /// Live requests summed over all batches.
+    pub batched_requests: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean live requests per evaluate pass (0 before the first batch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Render the counters as a JSON object fragment (no surrounding
+    /// braces, so callers can splice in extra fields).
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"received\":{},\"admitted\":{},\"shed\":{},\"expired\":{},\
+             \"completed\":{},\"batches\":{},\"batched_requests\":{},\
+             \"max_batch\":{},\"mean_batch\":{:.3}",
+            self.received,
+            self.admitted,
+            self.shed,
+            self.expired,
+            self.completed,
+            self.batches,
+            self.batched_requests,
+            self.max_batch,
+            self.mean_batch()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = ServeStats::default();
+        for _ in 0..3 {
+            s.on_received();
+            s.on_admitted();
+        }
+        s.on_shed();
+        s.on_batch(2);
+        s.on_batch(4);
+        s.on_completed();
+        let snap = s.snapshot();
+        assert_eq!(snap.received, 3);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batched_requests, 6);
+        assert_eq!(snap.max_batch, 4);
+        assert_eq!(snap.mean_batch(), 3.0);
+        let json = snap.json_fields();
+        assert!(json.contains("\"shed\":1"));
+        assert!(json.contains("\"mean_batch\":3.000"));
+    }
+}

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Snapshot the kernel micro-bench medians into BENCH_kernels.json and
-# the fault-injection sweep into BENCH_resilience.json.
+# Snapshot the kernel micro-bench medians into BENCH_kernels.json, the
+# fault-injection sweep into BENCH_resilience.json, and the serving
+# load test into BENCH_serving.json, then stamp every BENCH_*.json with
+# the commit, configured thread count, and host parallelism so a
+# snapshot is interpretable after the machine or checkout changes.
 #
 # Runs the `quantize_kernels` bench twice — once pinned to a single
 # thread (AF_NUM_THREADS=1, isolating the kernel speedups) and once with
@@ -79,3 +82,30 @@ echo "== resilience snapshot (fault_sweep --quick) =="
 cargo run --release -q -p af-bench --bin fault_sweep -- \
     --quick --out BENCH_resilience.json >/dev/null
 echo "wrote BENCH_resilience.json"
+
+echo
+echo "== serving snapshot (serve_load) =="
+cargo run --release -q -p af-bench --bin serve_load -- \
+    --out BENCH_serving.json
+echo "wrote BENCH_serving.json"
+
+echo
+echo "== stamping provenance metadata into BENCH_*.json =="
+COMMIT="$COMMIT" HOST_THREADS="$HOST_THREADS" \
+AF_THREADS="${AF_NUM_THREADS:-}" python3 - <<'PY'
+import glob, json, os
+
+meta = {
+    "git_sha": os.environ["COMMIT"],
+    "af_num_threads": os.environ["AF_THREADS"] or "default",
+    "host_parallelism": int(os.environ["HOST_THREADS"]),
+}
+for path in sorted(glob.glob("BENCH_*.json")):
+    with open(path) as f:
+        doc = json.load(f)
+    doc["meta"] = meta
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"stamped {path}")
+PY

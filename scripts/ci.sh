@@ -16,6 +16,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== serving bit-identity under AF_NUM_THREADS=1 =="
+# The batched-equals-per-sample invariant must hold at any thread count;
+# re-run the pinning tests with the runtime forced to a single thread.
+AF_NUM_THREADS=1 cargo test -q -p af-models --test frozen_batch
+AF_NUM_THREADS=1 cargo test -q --test serve_e2e
+
 echo "== fault_sweep smoke (--quick) =="
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -32,6 +38,22 @@ assert doc["end_task"], "no end-task cells"
 zero = [c for c in doc["storage"] if c["rate"] == 0]
 assert zero and all(c["faults_injected"] == 0 for c in zero)
 print(f"ok: {len(doc['storage'])} storage cells, {len(doc['end_task'])} end-task cells")
+PY
+
+echo "== serve_load smoke (--quick) =="
+cargo run --release -q -p af-bench --bin serve_load -- \
+    --quick --out "$TMP_DIR/BENCH_serving.json" >/dev/null
+python3 - "$TMP_DIR/BENCH_serving.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "serve_load", doc.get("bench")
+assert doc["cells"], "no serving cells"
+for c in doc["cells"]:
+    assert c["completed"] > 0, c
+    assert c["p50_us"] <= c["p95_us"] <= c["p99_us"], c
+print(f"ok: {len(doc['cells'])} serving cells")
 PY
 
 echo "CI green."

@@ -1,0 +1,207 @@
+//! End-to-end serving tests: a real `TcpListener` on an ephemeral port,
+//! real concurrent connections, and the two properties the serving
+//! stack exists to hold:
+//!
+//! 1. **Bit-identity** — every byte a client gets back through TCP +
+//!    micro-batching is exactly what direct per-sample
+//!    [`FrozenMlp::evaluate`] produces, at any batch mix and thread
+//!    count.
+//! 2. **Bounded overload** — a saturated variant sheds with an explicit
+//!    `429` instead of queueing without bound, and successful responses
+//!    under overload are still bit-exact.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptivfloat::FormatKind;
+use af_models::{FrozenMlp, ModelFamily};
+use af_serve::{Client, ClientError, Engine, EngineConfig, ModelRegistry, Server, VariantSpec};
+
+fn registry() -> Arc<ModelRegistry> {
+    let reg = ModelRegistry::new();
+    reg.register(&VariantSpec::fp32(
+        "transformer/fp32",
+        ModelFamily::Transformer,
+        40,
+        &[24, 48, 12],
+    ))
+    .unwrap();
+    reg.register(&VariantSpec::quantized(
+        "transformer/adaptivfloat8",
+        ModelFamily::Transformer,
+        FormatKind::AdaptivFloat,
+        8,
+        40,
+        &[24, 48, 12],
+    ))
+    .unwrap();
+    reg.register(&VariantSpec::quantized(
+        "resnet/posit6",
+        ModelFamily::ResNet,
+        FormatKind::Posit,
+        6,
+        41,
+        &[24, 32, 8],
+    ))
+    .unwrap();
+    Arc::new(reg)
+}
+
+fn serve(cfg: EngineConfig) -> (Server, Arc<ModelRegistry>) {
+    let reg = registry();
+    let engine = Arc::new(Engine::start(Arc::clone(&reg), cfg));
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind ephemeral port");
+    (server, reg)
+}
+
+#[test]
+fn concurrent_tcp_requests_are_bit_identical_to_direct_evaluation() {
+    let (server, reg) = serve(EngineConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(2),
+        ..EngineConfig::default()
+    });
+    let addr = server.addr();
+    let ids = [
+        "transformer/fp32",
+        "transformer/adaptivfloat8",
+        "resnet/posit6",
+    ];
+    let handles: Vec<_> = (0..12u64)
+        .map(|t| {
+            let id = ids[t as usize % ids.len()];
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let inputs = FrozenMlp::synth_inputs(500 + t, 8, 24);
+                let mut answers = Vec::new();
+                for r in 0..inputs.rows() {
+                    let out = client.infer(id, inputs.row(r)).expect("infer");
+                    answers.push((inputs.row(r).to_vec(), out));
+                }
+                (id, answers)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (id, answers) = h.join().expect("client thread");
+        let model = &reg.get(id).expect("variant").model;
+        for (input, served) in answers {
+            let direct = model.evaluate(&input);
+            let got: Vec<u32> = served.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = direct.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "served bits must match direct evaluation ({id})");
+        }
+    }
+    let snap = server.engine().stats().snapshot();
+    assert_eq!(snap.completed, 12 * 8);
+    assert_eq!(snap.shed, 0);
+    assert!(snap.batches >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_with_429_and_correct_responses_elsewhere() {
+    // One request evaluated per 150 ms, two queue slots: a concurrent
+    // burst of 10 must shed.
+    let (server, reg) = serve(EngineConfig {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_cap: 2,
+        service_delay: Duration::from_millis(150),
+        default_deadline: Duration::from_secs(10),
+    });
+    let addr = server.addr();
+    let handles: Vec<_> = (0..10u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let x = FrozenMlp::synth_inputs(700 + t, 1, 24);
+                let input = x.row(0).to_vec();
+                (input.clone(), client.infer("transformer/fp32", &input))
+            })
+        })
+        .collect();
+    let model = &reg.get("transformer/fp32").expect("variant").model;
+    let (mut ok, mut shed) = (0, 0);
+    for h in handles {
+        let (input, result) = h.join().expect("client thread");
+        match result {
+            Ok(served) => {
+                ok += 1;
+                let direct = model.evaluate(&input);
+                let got: Vec<u32> = served.iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = direct.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "overload must not corrupt served answers");
+            }
+            Err(ClientError::Http { status: 429, .. }) => shed += 1,
+            Err(e) => panic!("unexpected outcome under overload: {e}"),
+        }
+    }
+    assert!(ok >= 1, "some requests must still be served");
+    assert!(shed >= 1, "a full bounded queue must shed with 429");
+    assert_eq!(ok + shed, 10);
+    let snap = server.engine().stats().snapshot();
+    assert_eq!(snap.shed, shed as u64);
+    assert_eq!(snap.completed, ok as u64);
+    server.shutdown();
+}
+
+#[test]
+fn health_stats_and_protocol_errors() {
+    let (server, _reg) = serve(EngineConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+    assert!(client.healthz().expect("healthz"));
+
+    // Unknown variant → 404; wrong width → 400; tight deadline → 504.
+    let err = client.infer("no/such", &[0.0; 24]).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Http { status: 404, .. }),
+        "{err}"
+    );
+    let err = client.infer("transformer/fp32", &[0.0; 3]).unwrap_err();
+    assert!(
+        matches!(err, ClientError::Http { status: 400, .. }),
+        "{err}"
+    );
+    let x = FrozenMlp::synth_inputs(9, 1, 24);
+    let _ = client
+        .infer_with_deadline_ms("transformer/fp32", x.row(0), 2000)
+        .expect("generous deadline");
+
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"completed\":"));
+    assert!(stats.contains("\"id\":\"transformer/adaptivfloat8\""));
+    assert!(stats.contains("\"weight_format\":\"AdaptivFloat<8,3>\""));
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_is_visible_to_new_requests_without_disrupting_service() {
+    let (server, reg) = serve(EngineConfig::default());
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let x = FrozenMlp::synth_inputs(11, 1, 24);
+    let input = x.row(0).to_vec();
+    let before = client
+        .infer("transformer/fp32", &input)
+        .expect("before swap");
+
+    // Re-register the id with a different seed (new weights).
+    reg.register(&VariantSpec::fp32(
+        "transformer/fp32",
+        ModelFamily::Transformer,
+        99,
+        &[24, 48, 12],
+    ))
+    .expect("hot swap");
+
+    let after = client
+        .infer("transformer/fp32", &input)
+        .expect("after swap");
+    assert_ne!(before, after, "new requests must see the swapped weights");
+    let direct = reg.get("transformer/fp32").unwrap().model.evaluate(&input);
+    let got: Vec<u32> = after.iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u32> = direct.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want);
+    assert_eq!(reg.get("transformer/fp32").unwrap().generation, 1);
+    server.shutdown();
+}
