@@ -2,7 +2,9 @@
 //! split, exponent-bias selection rule, sub-minimum rounding, BFP block
 //! size, and the INT PE's scaling-factor width.
 
-use adaptivfloat::{rms_error, AdaptivFloat, BlockFloat, NumberFormat, TensorStats};
+use adaptivfloat::{
+    rms_error, AdaptivFloat, BlockFloat, NumberFormat, QuantPlan, QuantStats, TensorStats,
+};
 use af_hw::arith::int_dot_scaled;
 use af_models::ensembles::EnsembleKind;
 use rand::rngs::StdRng;
@@ -47,6 +49,21 @@ fn mean_rms(layers: &[Vec<f32>], quantize: impl Fn(&[f32]) -> Vec<f32>) -> f64 {
     total / layers.len() as f64
 }
 
+/// Mean per-layer RMS through a per-layer frozen plan, scoring into one
+/// scratch buffer (no per-layer allocation).
+fn mean_rms_plan(layers: &[Vec<f32>], plan_for: impl Fn(&[f32]) -> QuantPlan) -> f64 {
+    let mut scratch = vec![0.0f32; layers.iter().map(|w| w.len()).max().unwrap_or(0)];
+    let total: f64 = layers
+        .iter()
+        .map(|w| {
+            let dst = &mut scratch[..w.len()];
+            plan_for(w).execute_into(w, dst);
+            rms_error(w, dst)
+        })
+        .sum();
+    total / layers.len() as f64
+}
+
 /// Run every ablation.
 pub fn run(quick: bool) -> Ablations {
     let layers = transformer_layers(quick);
@@ -54,7 +71,10 @@ pub fn run(quick: bool) -> Ablations {
     let mut exp_bits = Vec::new();
     for e in 1..=6u32 {
         let fmt = AdaptivFloat::new(8, e).expect("valid");
-        exp_bits.push((e, mean_rms(&layers, |w| fmt.quantize_slice(w))));
+        exp_bits.push((
+            e,
+            mean_rms_plan(&layers, |w| fmt.plan(&QuantStats::from_slice(w))),
+        ));
     }
     // 2. exp_max from max-abs (Algorithm 1) vs percentile clipping.
     let fmt8 = AdaptivFloat::new(8, 3).expect("valid");
@@ -65,9 +85,10 @@ pub fn run(quick: bool) -> Ablations {
         ("99th percentile", 99.0),
         ("95th percentile", 95.0),
     ] {
-        let err = mean_rms(&layers, |w| {
+        let err = mean_rms_plan(&layers, |w| {
             let clip = TensorStats::abs_percentile(w, pct);
-            fmt8.quantize_slice_with_max(clip.max(f32::MIN_POSITIVE), w)
+            let max = clip.max(f32::MIN_POSITIVE);
+            fmt8.plan(&QuantStats::calibrated_with_len(max, w.len()))
         });
         exp_bias_rule.push((name.to_string(), err));
     }
@@ -75,7 +96,7 @@ pub fn run(quick: bool) -> Ablations {
     let mut submin = Vec::new();
     submin.push((
         "halfway rule (paper)".to_string(),
-        mean_rms(&layers, |w| fmt8.quantize_slice(w)),
+        mean_rms_plan(&layers, |w| fmt8.plan(&QuantStats::from_slice(w))),
     ));
     submin.push((
         "always round to zero".to_string(),
@@ -109,7 +130,10 @@ pub fn run(quick: bool) -> Ablations {
             BlockFloat::with_block_size(8, 64).expect("valid"),
         ),
     ] {
-        bfp_block.push((name, mean_rms(&layers, |w| fmt.quantize_slice(w))));
+        bfp_block.push((
+            name,
+            mean_rms_plan(&layers, |w| fmt.plan(&QuantStats::from_slice(w))),
+        ));
     }
     // 5. INT scaling-factor width: mean relative dequantization error
     // over many dot products, with the output expressed at a fine unit

@@ -12,7 +12,8 @@
 
 use adaptivfloat::search::{search_adaptivfloat_exponent, search_float_exponent, search_posit_es};
 use adaptivfloat::{
-    rms_error, AdaptivFloat, BlockAdaptivFloat, FormatKind, NumberFormat, StochasticRounder,
+    rms_error, AdaptivFloat, BlockAdaptivFloat, FormatKind, NumberFormat, QuantStats,
+    StochasticRounder,
 };
 use af_models::ensembles::EnsembleKind;
 use af_models::{MiniResNet, QuantizableModel};
@@ -111,10 +112,15 @@ pub fn run(quick: bool) -> Extensions {
     let mut granularity = Vec::new();
     let mut t = TextTable::new(["exp_bias granularity", "mean RMS", "overhead bits/elem"]);
     let per_layer = AdaptivFloat::new(6, 3).expect("valid");
-    let mean_rms = |f: &dyn NumberFormat| -> f64 {
+    let mut scratch = vec![0.0f32; layers.iter().map(|w| w.len()).max().unwrap_or(0)];
+    let mut mean_rms = |f: &dyn NumberFormat| -> f64 {
         layers
             .iter()
-            .map(|w| rms_error(w, &f.quantize_slice(w)))
+            .map(|w| {
+                let dst = &mut scratch[..w.len()];
+                f.plan(&QuantStats::from_slice(w)).execute_into(w, dst);
+                rms_error(w, dst)
+            })
             .sum::<f64>()
             / layers.len() as f64
     };
@@ -145,7 +151,7 @@ pub fn run(quick: bool) -> Extensions {
     // --- 4. stochastic rounding ---
     let fmt = AdaptivFloat::new(6, 3).expect("valid");
     let w = &ensemble.layers[6].1;
-    let nearest = fmt.quantize_slice(w);
+    let nearest = fmt.plan(&QuantStats::from_slice(w)).execute(w);
     let mut rounder = StochasticRounder::new(1234);
     let stochastic = fmt.quantize_slice_stochastic(w, &mut rounder);
     let bias = |q: &[f32]| -> f64 {

@@ -1,7 +1,7 @@
 //! Figure 3: the worked `AdaptivFloat<4,2>` quantization of the paper's
 //! 4×4 example matrix.
 
-use adaptivfloat::{AdaptivFloat, NumberFormat};
+use adaptivfloat::{AdaptivFloat, NumberFormat, QuantStats};
 
 /// The paper's example matrix.
 pub const EXAMPLE: [f32; 16] = [
@@ -30,7 +30,9 @@ pub struct Fig3 {
 pub fn run(_quick: bool) -> Fig3 {
     let fmt = AdaptivFloat::new(4, 2).expect("<4,2> is valid");
     let params = fmt.params_for(&EXAMPLE);
-    let quantized = fmt.quantize_slice(&EXAMPLE);
+    let quantized = fmt
+        .plan(&QuantStats::from_slice(&EXAMPLE))
+        .execute(&EXAMPLE);
     let mut out = String::from("Figure 3: AdaptivFloat<4,2> quantization example\n");
     out.push_str(&format!(
         "exp_bias = {}, |min| = {}, |max| = {}\n\n",

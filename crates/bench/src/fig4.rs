@@ -2,7 +2,7 @@
 //! 4/6/8-bit across the Transformer, Seq2Seq, and ResNet-50 weight
 //! distributions.
 
-use adaptivfloat::{rms_error, FormatKind};
+use adaptivfloat::{rms_error, FormatKind, QuantStats};
 use af_models::ensembles::EnsembleKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,6 +78,7 @@ pub fn run(quick: bool) -> Fig4 {
     let mut table = TextTable::new([
         "model", "bits", "format", "min", "q1", "median", "q3", "max", "mean",
     ]);
+    let mut scratch = vec![0.0f32; layer_size];
     for model in EnsembleKind::EVALUATED {
         let ensemble = model.generate(&mut rng, layers, layer_size);
         for bits in [4u32, 6, 8] {
@@ -86,7 +87,14 @@ pub fn run(quick: bool) -> Fig4 {
                 let mut errs: Vec<f64> = ensemble
                     .layers
                     .iter()
-                    .map(|(_, w)| rms_error(w, &fmt.quantize_slice(w)))
+                    .map(|(_, w)| {
+                        if scratch.len() < w.len() {
+                            scratch.resize(w.len(), 0.0);
+                        }
+                        let dst = &mut scratch[..w.len()];
+                        fmt.plan(&QuantStats::from_slice(w)).execute_into(w, dst);
+                        rms_error(w, dst)
+                    })
                     .collect();
                 let stats = BoxStats::from(&mut errs);
                 table.row([

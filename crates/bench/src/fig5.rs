@@ -1,7 +1,7 @@
 //! Figure 5: the two PE microarchitectures — datapath structure, field
 //! widths, and a bit-accuracy demonstration of each.
 
-use adaptivfloat::{AdaptivFloat, NumberFormat, Uniform};
+use adaptivfloat::{AdaptivFloat, NumberFormat, QuantStats, Uniform};
 use af_hw::arith::{hfint_dot, int_dot_scaled};
 use af_hw::{CostParams, PeConfig, PeKind, PeModel};
 
@@ -40,8 +40,8 @@ pub fn run(_quick: bool) -> Fig5 {
     let fmt = AdaptivFloat::new(8, 3).expect("valid");
     let wp = fmt.params_for(&w);
     let ap = fmt.params_for(&a);
-    let wq = fmt.quantize_slice(&w);
-    let aq = fmt.quantize_slice(&a);
+    let wq = fmt.plan(&QuantStats::from_slice(&w)).execute(&w);
+    let aq = fmt.plan(&QuantStats::from_slice(&a)).execute(&a);
     let exact_hf: f64 = wq.iter().zip(&aq).map(|(&x, &y)| x as f64 * y as f64).sum();
     let wc: Vec<u32> = w.iter().map(|&v| fmt.encode_with(&wp, v)).collect();
     let ac: Vec<u32> = a.iter().map(|&v| fmt.encode_with(&ap, v)).collect();

@@ -358,18 +358,27 @@ impl NumberFormat for AdaptivFloat {
         self.n
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        let params = crate::kernels::params_from_bits_scan(self, data);
-        self.quantize_slice_with_params(&params, data)
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        // `params_for` over the single max reproduces both fused paths:
+        // the from-data bits scan and the calibrated range (non-finite
+        // calibrated maxima are filtered to the all-zero default).
+        let params = self.params_for(&[stats.max_abs()]);
+        let backend = match crate::kernels::FastQuantizer::new(self, &params) {
+            Some(fast) => Backend::Kernel(fast),
+            None => Backend::AdaptivRef { fmt: *self, params },
+        };
+        QuantPlan::new(
+            self.n,
+            PlanParams::AdaptivFloat {
+                exp_bias: params.exp_bias,
+            },
+            backend,
+        )
     }
 
     fn is_adaptive(&self) -> bool {
         true
-    }
-
-    fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
-        let params = self.params_for(&[max_abs]);
-        self.quantize_slice_with_params(&params, data)
     }
 }
 

@@ -140,7 +140,7 @@ impl BlockFloat {
     }
 
     /// Quantize one element against a fixed shared exponent.
-    fn quantize_one_at(&self, e: i32, v: f32) -> f32 {
+    pub(crate) fn quantize_one_at(&self, e: i32, v: f32) -> f32 {
         if v.is_nan() {
             return 0.0;
         }
@@ -151,7 +151,7 @@ impl BlockFloat {
     }
 
     /// Quantize one block in place.
-    fn quantize_block(&self, block: &mut [f32]) {
+    pub(crate) fn quantize_block(&self, block: &mut [f32]) {
         let max_abs = f32::from_bits(crate::kernels::max_abs_bits(block));
         if max_abs == 0.0 {
             block.iter_mut().for_each(|v| *v = 0.0);
@@ -225,32 +225,39 @@ impl NumberFormat for BlockFloat {
         self.n
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        self.quantize_with_exponents(data).0
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
+        use crate::lut::{self, LutKey};
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        // Per-block exponents are re-derived during execution; a
+        // calibrated range collapses to one shared exponent for the whole
+        // slice, exactly as the fused with-max path did.
+        if self.block.is_some() && !stats.is_calibrated() {
+            return QuantPlan::new(self.n, PlanParams::PerBlock, Backend::BfpBlocked(*self));
+        }
+        let max_abs = stats.max_abs();
+        if max_abs == 0.0 {
+            return QuantPlan::new(self.n, PlanParams::Bfp { shared_exp: None }, Backend::Zero);
+        }
+        let e = Self::shared_exponent(max_abs);
+        let backend = if self.n <= lut::MAX_LUT_BITS && stats.len() >= lut::MIN_LUT_LEN {
+            // Shared exponents take few distinct values across blocks and
+            // tensors, so the per-exponent codebooks are reused heavily.
+            Backend::Lut(lut::cached(LutKey::Bfp { n: self.n, exp: e }, |v| {
+                self.quantize_one_at(e, v)
+            }))
+        } else {
+            Backend::BfpScalar { fmt: *self, exp: e }
+        };
+        QuantPlan::new(
+            self.n,
+            PlanParams::Bfp {
+                shared_exp: Some(e),
+            },
+            backend,
+        )
     }
 
     fn is_adaptive(&self) -> bool {
-        true
-    }
-
-    fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
-        if max_abs == 0.0 {
-            return vec![0.0; data.len()];
-        }
-        let e = Self::shared_exponent(max_abs);
-        let mut out = data.to_vec();
-        self.quantize_block_at(e, &mut out);
-        out
-    }
-
-    fn prewarm_codebooks(&self, max_abs: f32) -> bool {
-        use crate::lut::{self, LutKey};
-        if self.n > lut::MAX_LUT_BITS || max_abs == 0.0 {
-            return false;
-        }
-        let e = Self::shared_exponent(max_abs);
-        let key = LutKey::Bfp { n: self.n, exp: e };
-        lut::prewarm(key, |v| self.quantize_one_at(e, v));
         true
     }
 }

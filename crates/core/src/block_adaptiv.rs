@@ -96,8 +96,17 @@ impl NumberFormat for BlockAdaptivFloat {
         self.inner.n()
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        self.quantize_with_biases(data).0
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        // One bias per block, derived from the block itself during
+        // execution — also under a calibrated range, matching the fused
+        // path (which had no calibrated override at block granularity).
+        let _ = stats;
+        QuantPlan::new(
+            self.inner.n(),
+            PlanParams::PerBlock,
+            Backend::BlockAdaptiv(*self),
+        )
     }
 
     fn is_adaptive(&self) -> bool {

@@ -133,36 +133,25 @@ impl NumberFormat for FixedPoint {
         self.n
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
         use crate::lut::{self, LutKey};
-        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
-            return lut::cached(
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        let backend = if self.n <= lut::MAX_LUT_BITS && stats.len() >= lut::MIN_LUT_LEN {
+            Backend::Lut(lut::cached(
                 LutKey::Fixed {
                     n: self.n,
                     int_bits: self.int_bits,
                 },
                 |v| self.quantize_value(v),
-            )
-            .quantize_slice(data);
-        }
-        crate::par::par_map_slice(data, |v| self.quantize_value(v))
+            ))
+        } else {
+            Backend::FixedScalar(*self)
+        };
+        QuantPlan::new(self.n, PlanParams::Static, backend)
     }
 
     fn is_adaptive(&self) -> bool {
         false
-    }
-
-    fn prewarm_codebooks(&self, _max_abs: f32) -> bool {
-        use crate::lut::{self, LutKey};
-        if self.n > lut::MAX_LUT_BITS {
-            return false;
-        }
-        let key = LutKey::Fixed {
-            n: self.n,
-            int_bits: self.int_bits,
-        };
-        lut::prewarm(key, |v| self.quantize_value(v));
-        true
     }
 }
 

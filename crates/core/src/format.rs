@@ -2,14 +2,22 @@
 //! paper's format sweeps.
 
 use crate::error::FormatError;
+use crate::plan::{QuantPlan, QuantStats};
 use crate::{AdaptivFloat, BlockFloat, IeeeLikeFloat, Posit, Uniform};
 
 /// A lossy numerical encoding that can quantize a tensor of `f32` values.
 ///
 /// Adaptive formats (AdaptivFloat, block floating-point, uniform) derive
-/// their scaling parameters from the data they are given, per call —
-/// mirroring the paper's layer-granularity adaptation. Non-adaptive formats
-/// (IEEE-like float, posit) ignore the data statistics.
+/// their scaling parameters from the data they are given — mirroring the
+/// paper's layer-granularity adaptation. Non-adaptive formats (IEEE-like
+/// float, posit) ignore the data statistics.
+///
+/// The trait is structured around the plan/execute split: every format
+/// implements [`plan`](NumberFormat::plan), which freezes its per-tensor
+/// parameters from a [`QuantStats`] scan into a reusable [`QuantPlan`];
+/// the quantize methods below are thin wrappers over plan + execute, so
+/// every call site — fused or planned — goes through the same backends
+/// and produces bit-identical results.
 ///
 /// # Examples
 ///
@@ -30,6 +38,13 @@ pub trait NumberFormat: Send + Sync + std::fmt::Debug {
     /// Total word size in bits (including the sign bit).
     fn bits(&self) -> u32;
 
+    /// Freeze the per-tensor quantization parameters derived from `stats`
+    /// (Algorithm 1, step 1 — generalized to every format) into a
+    /// [`QuantPlan`], picking the execution backend once from the format
+    /// geometry and tensor length. The plan can then be executed
+    /// allocation-free any number of times.
+    fn plan(&self, stats: &QuantStats) -> QuantPlan;
+
     /// Quantize every element of `data`, returning the *dequantized*
     /// (reconstructed) values. The output has the same length as `data`.
     ///
@@ -37,18 +52,28 @@ pub trait NumberFormat: Send + Sync + std::fmt::Debug {
     /// and ±∞ saturates to the format's extremes; use
     /// [`try_quantize_slice`](NumberFormat::try_quantize_slice) to reject
     /// them instead.
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32>;
+    ///
+    /// This is the plan/execute pipeline fused into one call: scan,
+    /// [`plan`](NumberFormat::plan), execute into a fresh vector.
+    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+        self.plan(&QuantStats::from_slice(data)).execute(data)
+    }
 
     /// Quantize, rejecting non-finite inputs.
+    ///
+    /// The non-finite check rides the planning scan (a [`QuantStats`]
+    /// pass records the first non-finite index while reducing max-abs),
+    /// so the strict path traverses the data once before quantizing.
     ///
     /// # Errors
     ///
     /// Returns [`FormatError::NonFinite`] if any element is NaN or ±∞.
     fn try_quantize_slice(&self, data: &[f32]) -> Result<Vec<f32>, FormatError> {
-        if let Some(index) = data.iter().position(|v| !v.is_finite()) {
+        let stats = QuantStats::from_slice(data);
+        if let Some(index) = stats.first_non_finite() {
             return Err(FormatError::NonFinite { index });
         }
-        Ok(self.quantize_slice(data))
+        Ok(self.plan(&stats).execute(data))
     }
 
     /// Whether the format adapts its parameters to the data distribution.
@@ -61,8 +86,8 @@ pub trait NumberFormat: Send + Sync + std::fmt::Debug {
     /// "informed from statistics during offline batch inference", then held
     /// fixed at run time. Non-adaptive formats ignore `max_abs`.
     fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
-        let _ = max_abs;
-        self.quantize_slice(data)
+        self.plan(&QuantStats::calibrated_with_len(max_abs, data.len()))
+            .execute(data)
     }
 
     /// Pre-build any LUT codebooks the format would otherwise compile
@@ -70,12 +95,13 @@ pub trait NumberFormat: Send + Sync + std::fmt::Debug {
     /// (the serving registry calls this at model-load time so the first
     /// request never pays the build, nor the cache's write lock).
     ///
-    /// Returns `true` if the format has a codebook path and it is now
-    /// warm; `false` for formats with no codebook (e.g. AdaptivFloat's
+    /// Building a calibrated plan *is* the prewarm: a codebook-backed
+    /// plan resolves (and, on a miss, builds) its LUT handle at plan
+    /// time. Returns `true` if the format has a codebook path and it is
+    /// now warm; `false` for formats with no codebook (e.g. AdaptivFloat's
     /// bit-twiddled kernel, which has no cached state).
     fn prewarm_codebooks(&self, max_abs: f32) -> bool {
-        let _ = max_abs;
-        false
+        self.plan(&QuantStats::calibrated(max_abs)).uses_codebook()
     }
 }
 

@@ -209,38 +209,27 @@ impl NumberFormat for IeeeLikeFloat {
         self.n
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
         use crate::lut::{self, LutKey};
-        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        let backend = if self.n <= lut::MAX_LUT_BITS && stats.len() >= lut::MIN_LUT_LEN {
             // The grid is static per geometry: compile the scalar
             // quantizer to a codebook once and reuse it process-wide.
-            return lut::cached(
+            Backend::Lut(lut::cached(
                 LutKey::Ieee {
                     n: self.n,
                     e: self.e,
                 },
                 |v| self.quantize_value(v),
-            )
-            .quantize_slice(data);
-        }
-        crate::par::par_map_slice(data, |v| self.quantize_value(v))
+            ))
+        } else {
+            Backend::IeeeScalar(*self)
+        };
+        QuantPlan::new(self.n, PlanParams::Static, backend)
     }
 
     fn is_adaptive(&self) -> bool {
         false
-    }
-
-    fn prewarm_codebooks(&self, _max_abs: f32) -> bool {
-        use crate::lut::{self, LutKey};
-        if self.n > lut::MAX_LUT_BITS {
-            return false;
-        }
-        let key = LutKey::Ieee {
-            n: self.n,
-            e: self.e,
-        };
-        lut::prewarm(key, |v| self.quantize_value(v));
-        true
     }
 }
 

@@ -53,6 +53,7 @@ pub mod lut;
 pub mod metrics;
 pub mod pack;
 pub mod par;
+pub mod plan;
 pub mod posit;
 pub mod search;
 pub mod stats;
@@ -71,6 +72,7 @@ pub use format::{FormatKind, NumberFormat};
 pub use ieee_like::IeeeLikeFloat;
 pub use metrics::{max_abs_error, mean_abs_error, rms_error, sqnr_db};
 pub use pack::{BitPacker, PackedCodes};
+pub use plan::{PlanParams, QuantPlan, QuantStats};
 pub use posit::Posit;
 pub use stats::TensorStats;
 pub use stochastic::StochasticRounder;

@@ -245,7 +245,7 @@ fn insert(key: LutKey, built: Arc<LutQuantizer>) -> Arc<LutQuantizer> {
 }
 
 /// Fetch the codebook for `key`, building it with `quantize` on a miss.
-/// The cache is process-wide and bounded (emptied at [`CACHE_CAP`]).
+/// The cache is process-wide and bounded (emptied when it reaches capacity).
 ///
 /// Hits take only the read lock; misses build the table *outside* any
 /// lock (two racing builders both build, one insertion wins) and then

@@ -252,38 +252,27 @@ impl NumberFormat for Posit {
         self.n
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
         use crate::lut::{self, LutKey};
-        if self.n <= lut::MAX_LUT_BITS && data.len() >= lut::MIN_LUT_LEN {
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        let backend = if self.n <= lut::MAX_LUT_BITS && stats.len() >= lut::MIN_LUT_LEN {
             // Replaces the per-element f64 table walk with a codebook
             // lookup over f32 bit space (static per geometry).
-            return lut::cached(
+            Backend::Lut(lut::cached(
                 LutKey::Posit {
                     n: self.n,
                     es: self.es,
                 },
                 |v| self.quantize_value(v),
-            )
-            .quantize_slice(data);
-        }
-        crate::par::par_map_slice(data, |v| self.quantize_value(v))
+            ))
+        } else {
+            Backend::PositScalar(std::sync::Arc::new(self.clone()))
+        };
+        QuantPlan::new(self.n, PlanParams::Static, backend)
     }
 
     fn is_adaptive(&self) -> bool {
         false
-    }
-
-    fn prewarm_codebooks(&self, _max_abs: f32) -> bool {
-        use crate::lut::{self, LutKey};
-        if self.n > lut::MAX_LUT_BITS {
-            return false;
-        }
-        let key = LutKey::Posit {
-            n: self.n,
-            es: self.es,
-        };
-        lut::prewarm(key, |v| self.quantize_value(v));
-        true
     }
 }
 

@@ -12,6 +12,7 @@ use crate::error::FormatError;
 use crate::format::NumberFormat;
 use crate::ieee_like::IeeeLikeFloat;
 use crate::metrics::rms_error;
+use crate::plan::QuantStats;
 use crate::posit::Posit;
 
 /// The outcome of an exponent-width search.
@@ -34,6 +35,11 @@ fn search<F>(
 where
     F: Fn(u32, u32) -> Result<Box<dyn NumberFormat>, FormatError>,
 {
+    // Scan each layer once; every candidate geometry then scores through
+    // a frozen plan into one shared scratch buffer (no per-candidate
+    // parameter re-derivation, no per-candidate allocation).
+    let stats: Vec<QuantStats> = layers.iter().map(|w| QuantStats::from_slice(w)).collect();
+    let mut scratch = vec![0.0f32; layers.iter().map(|w| w.len()).max().unwrap_or(0)];
     let mut candidates = Vec::new();
     for e in e_range {
         let fmt = match build(n, e) {
@@ -41,8 +47,10 @@ where
             Err(_) => continue, // geometry impossible at this width
         };
         let mut total = 0.0f64;
-        for w in layers {
-            total += rms_error(w, &fmt.quantize_slice(w));
+        for (w, s) in layers.iter().zip(&stats) {
+            let dst = &mut scratch[..w.len()];
+            fmt.plan(s).execute_into(w, dst);
+            total += rms_error(w, dst);
         }
         candidates.push((e, total / layers.len().max(1) as f64));
     }

@@ -147,34 +147,27 @@ impl NumberFormat for Uniform {
         self.n
     }
 
-    fn quantize_slice(&self, data: &[f32]) -> Vec<f32> {
-        let max_abs = f32::from_bits(crate::kernels::max_abs_bits(data));
-        self.quantize_with_scale(self.scale_for(max_abs), data)
+    fn plan(&self, stats: &crate::plan::QuantStats) -> crate::plan::QuantPlan {
+        use crate::lut::{self, LutKey};
+        use crate::plan::{Backend, PlanParams, QuantPlan};
+        let scale = self.scale_for(stats.max_abs());
+        let backend = if self.n <= lut::MAX_LUT_BITS && stats.len() >= lut::MIN_LUT_LEN {
+            // One codebook per (geometry, scale); per-tensor scales repeat
+            // across calls (calibrated activations), so the cache pays off.
+            Backend::Lut(lut::cached(
+                LutKey::Uniform {
+                    n: self.n,
+                    scale_bits: scale.to_bits(),
+                },
+                |v| (self.quantize_level(scale, v) as f64 * scale) as f32,
+            ))
+        } else {
+            Backend::UniformScalar { fmt: *self, scale }
+        };
+        QuantPlan::new(self.n, PlanParams::Uniform { scale }, backend)
     }
 
     fn is_adaptive(&self) -> bool {
-        true
-    }
-
-    fn quantize_slice_with_max(&self, max_abs: f32, data: &[f32]) -> Vec<f32> {
-        self.quantize_with_scale(self.scale_for(max_abs), data)
-    }
-
-    fn prewarm_codebooks(&self, max_abs: f32) -> bool {
-        use crate::lut::{self, LutKey};
-        if self.n > lut::MAX_LUT_BITS {
-            return false;
-        }
-        // Same key/closure pair the quantize path uses, so a calibrated
-        // serve path at this max hits the warmed table.
-        let scale = self.scale_for(max_abs);
-        let key = LutKey::Uniform {
-            n: self.n,
-            scale_bits: scale.to_bits(),
-        };
-        lut::prewarm(key, |v| {
-            (self.quantize_level(scale, v) as f64 * scale) as f32
-        });
         true
     }
 }

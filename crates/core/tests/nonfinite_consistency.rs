@@ -10,7 +10,7 @@
 
 use adaptivfloat::kernels::FastQuantizer;
 use adaptivfloat::lut::LutQuantizer;
-use adaptivfloat::{AdaptivFloat, FormatKind};
+use adaptivfloat::{AdaptivFloat, FormatError, FormatKind, QuantStats};
 
 /// The non-finite scalars under test, plus finite sentinels to make sure
 /// interleaving doesn't disturb neighbors.
@@ -70,6 +70,51 @@ fn adaptivfloat_three_paths_agree_on_nonfinite() {
         assert_eq!(analytic[3], vmax, "+Inf must clamp to value_max");
         assert_eq!(analytic[4], -vmax, "-Inf must clamp to -value_max");
     }
+}
+
+#[test]
+fn try_quantize_reports_first_nonfinite_index_for_every_kind() {
+    // The checked path now rides the planning scan: one traversal both
+    // finds the calibration maximum and records the first bad element,
+    // so the error index must be exact for every format.
+    for kind in FormatKind::ALL {
+        let fmt = kind.build(8).expect("valid geometry");
+        let label = fmt.name();
+        let mut data = vec![0.5f32; 40];
+        data[7] = f32::INFINITY;
+        data[21] = f32::NAN;
+        assert_eq!(
+            fmt.try_quantize_slice(&data),
+            Err(FormatError::NonFinite { index: 7 }),
+            "{label}: earliest non-finite element wins"
+        );
+        data[7] = 0.5;
+        assert_eq!(
+            fmt.try_quantize_slice(&data),
+            Err(FormatError::NonFinite { index: 21 }),
+            "{label}: NaN detected after the ∞ is repaired"
+        );
+        data[21] = 0.25;
+        let checked = fmt.try_quantize_slice(&data).expect("clean input");
+        let unchecked = fmt.quantize_slice(&data);
+        for (i, (a, b)) in checked.iter().zip(&unchecked).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: checked path diverges at {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_scan_records_first_nonfinite_and_finite_maximum() {
+    let data = [1.0f32, f32::NEG_INFINITY, f32::NAN, -3.0];
+    let stats = QuantStats::from_slice(&data);
+    assert_eq!(stats.first_non_finite(), Some(1));
+    // Non-finite elements never steer the calibration maximum.
+    assert_eq!(stats.max_abs(), 3.0);
+    assert_eq!(stats.len(), 4);
 }
 
 #[test]

@@ -1,0 +1,136 @@
+//! Property tests pinning the plan/execute contract: for every format
+//! kind and word size, a frozen [`QuantPlan`](adaptivfloat::QuantPlan)
+//! produces **bit-identical** output regardless of
+//!
+//! * which entry point runs it (`execute`, `execute_into` on dirty
+//!   scratch, `execute_in_place`),
+//! * which backend the planner picked (LUT codebooks engage at n ≤ 8 on
+//!   long slices; the bit-twiddled kernel on AdaptivFloat; the analytic
+//!   scalar path everywhere else), and
+//! * whether the legacy `quantize_slice` wrapper or the plan is called.
+//!
+//! The scalar reference is obtained by quantizing one element at a time
+//! through `quantize_slice_with_max` — a length-1 slice sits below every
+//! backend engagement threshold, so it always takes the analytic path.
+
+use adaptivfloat::{FormatKind, QuantStats};
+use proptest::prelude::*;
+
+const WORD_SIZES: [u32; 4] = [4, 6, 8, 16];
+const POISON: [f32; 3] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+
+proptest! {
+    #[test]
+    fn plan_execution_is_bit_identical_across_backends(
+        data in prop::collection::vec(-1e4f32..1e4, 33..96),
+        kind_idx in 0usize..FormatKind::ALL.len(),
+        n_idx in 0usize..WORD_SIZES.len(),
+        // pos == 96 means "no poison"; otherwise overwrite one element
+        // with a non-finite value.
+        poison_pos in 0usize..=96,
+        poison_kind in 0usize..POISON.len(),
+    ) {
+        let mut data = data.clone();
+        let kind = FormatKind::ALL[kind_idx];
+        let n = WORD_SIZES[n_idx];
+        let fmt = kind.build(n).expect("valid geometry");
+        if poison_pos < 96 {
+            let pos = poison_pos % data.len();
+            data[pos] = POISON[poison_kind];
+        }
+
+        let stats = QuantStats::from_slice(&data);
+        let plan = fmt.plan(&stats);
+        let label = fmt.name();
+        let backend = plan.backend_label();
+
+        let out = plan.execute(&data);
+        let mut dst = vec![f32::NAN; data.len()]; // deliberately dirty
+        plan.execute_into(&data, &mut dst);
+        let mut inplace = data.clone();
+        plan.execute_in_place(&mut inplace);
+        let legacy = fmt.quantize_slice(&data);
+
+        for i in 0..data.len() {
+            prop_assert_eq!(
+                out[i].to_bits(), dst[i].to_bits(),
+                "{} [{}]: execute vs execute_into at {} ({:?})",
+                label, backend, i, data[i]
+            );
+            prop_assert_eq!(
+                out[i].to_bits(), inplace[i].to_bits(),
+                "{} [{}]: execute vs execute_in_place at {} ({:?})",
+                label, backend, i, data[i]
+            );
+            prop_assert_eq!(
+                out[i].to_bits(), legacy[i].to_bits(),
+                "{} [{}]: plan vs legacy quantize_slice at {} ({:?})",
+                label, backend, i, data[i]
+            );
+            // Cross-backend: a length-1 slice never engages the LUT or
+            // kernel, so this is the analytic scalar answer under the
+            // same calibrated maximum.
+            let scalar = fmt.quantize_slice_with_max(stats.max_abs(), &[data[i]])[0];
+            prop_assert_eq!(
+                out[i].to_bits(), scalar.to_bits(),
+                "{} [{}]: slice backend vs analytic scalar at {} ({:?})",
+                label, backend, i, data[i]
+            );
+        }
+    }
+
+    /// A plan is frozen: running it twice — including once after other
+    /// plans have executed — yields the same bits. Guards against hidden
+    /// mutable state in any backend.
+    #[test]
+    fn plan_reuse_is_deterministic(
+        data in prop::collection::vec(-100.0f32..100.0, 1..80),
+        kind_idx in 0usize..FormatKind::ALL.len(),
+    ) {
+        let fmt = FormatKind::ALL[kind_idx].build(8).expect("valid geometry");
+        let plan = fmt.plan(&QuantStats::from_slice(&data));
+        let first = plan.execute(&data);
+        // Interleave an unrelated plan on different data.
+        let other = fmt.plan(&QuantStats::calibrated_with_len(1.0, 64));
+        other.execute(&vec![0.5f32; 64]);
+        let second = plan.execute(&data);
+        for i in 0..data.len() {
+            prop_assert_eq!(first[i].to_bits(), second[i].to_bits());
+        }
+    }
+}
+
+/// The LUT path is enumerable at n ≤ 8: sweep a dense grid (all binades
+/// the format can see plus sub-minimum values and non-finites) and pin
+/// the codebook-backed plan to the analytic scalar path bit-for-bit.
+#[test]
+fn enumerable_codebooks_match_scalar_sweep() {
+    for kind in FormatKind::ALL {
+        for n in [4u32, 8] {
+            let fmt = kind.build(n).expect("valid geometry");
+            let mut sweep: Vec<f32> = Vec::new();
+            for exp in -20..=6 {
+                let base = (exp as f32).exp2();
+                for frac in 0..8 {
+                    let v = base * (1.0 + frac as f32 / 8.0);
+                    sweep.push(v);
+                    sweep.push(-v);
+                }
+            }
+            sweep.extend_from_slice(&[0.0, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+            let stats = QuantStats::from_slice(&sweep);
+            let plan = fmt.plan(&stats);
+            let got = plan.execute(&sweep);
+            for (i, (&v, &q)) in sweep.iter().zip(&got).enumerate() {
+                let scalar = fmt.quantize_slice_with_max(stats.max_abs(), &[v])[0];
+                assert_eq!(
+                    q.to_bits(),
+                    scalar.to_bits(),
+                    "{} [{}] n={n}: sweep index {i} input {v:?}: {q} vs {scalar}",
+                    fmt.name(),
+                    plan.backend_label(),
+                );
+            }
+        }
+    }
+}

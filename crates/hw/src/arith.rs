@@ -189,8 +189,12 @@ mod tests {
             .collect();
         let wp = fmt.params_for(&w);
         let ap = fmt.params_for(&a);
-        let wq = fmt.quantize_slice(&w);
-        let aq = fmt.quantize_slice(&a);
+        let wq = fmt
+            .plan(&adaptivfloat::QuantStats::from_slice(&w))
+            .execute(&w);
+        let aq = fmt
+            .plan(&adaptivfloat::QuantStats::from_slice(&a))
+            .execute(&a);
         let exact: f64 = wq.iter().zip(&aq).map(|(&x, &y)| x as f64 * y as f64).sum();
         let wc = codes(&fmt, &wp, &w);
         let ac = codes(&fmt, &ap, &a);

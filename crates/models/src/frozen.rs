@@ -25,7 +25,7 @@
 //! elementwise map under a *fixed* per-layer range (never a per-batch
 //! statistic). `tests/frozen_batch.rs` pins the invariant.
 
-use adaptivfloat::{FormatError, FormatKind, NumberFormat};
+use adaptivfloat::{FormatError, FormatKind, NumberFormat, QuantPlan, QuantStats};
 use af_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,8 +47,10 @@ struct FrozenLayer {
 #[derive(Debug)]
 struct ActQuant {
     format: Box<dyn NumberFormat>,
-    /// Calibrated abs-max of each layer's input.
-    max: Vec<f32>,
+    /// One frozen [`QuantPlan`] per layer, built once at calibration
+    /// time from the layer input's abs-max; execution never re-derives
+    /// parameters or touches the codebook cache.
+    plans: Vec<QuantPlan>,
 }
 
 /// An immutable feed-forward inference snapshot (ReLU MLP).
@@ -150,7 +152,8 @@ impl FrozenMlp {
             .into_iter()
             .map(|l| {
                 let shape = l.weight.shape().to_vec();
-                let q = fmt.quantize_slice(l.weight.data());
+                let plan = fmt.plan(&QuantStats::from_slice(l.weight.data()));
+                let q = plan.execute(l.weight.data());
                 FrozenLayer {
                     weight: Tensor::from_vec(q, &shape),
                     bias: l.bias,
@@ -191,7 +194,14 @@ impl FrozenMlp {
                 x = x.map(|v| v.max(0.0));
             }
         }
-        self.act = Some(ActQuant { format: fmt, max });
+        // Freeze one plan per layer now; every later evaluate call just
+        // executes it (and any LUT codebook it needs is resolved here,
+        // so the serving hot path never takes the cache lock).
+        let plans = max
+            .iter()
+            .map(|&m| fmt.plan(&QuantStats::calibrated(m)))
+            .collect();
+        self.act = Some(ActQuant { format: fmt, plans });
         Ok(self)
     }
 
@@ -201,11 +211,10 @@ impl FrozenMlp {
     pub fn prewarm_codebooks(&self) -> usize {
         match &self.act {
             None => 0,
-            Some(act) => act
-                .max
-                .iter()
-                .filter(|&&m| act.format.prewarm_codebooks(m))
-                .count(),
+            // Plans were frozen at calibration time, which already built
+            // (and cached) any codebook they reference — counting warm
+            // layers is now a pure inspection.
+            Some(act) => act.plans.iter().filter(|p| p.uses_codebook()).count(),
         }
     }
 
@@ -263,7 +272,7 @@ impl FrozenMlp {
         let mut x = input.to_vec();
         for (l, layer) in self.layers.iter().enumerate() {
             if let Some(act) = &self.act {
-                x = act.format.quantize_slice_with_max(act.max[l], &x);
+                x = act.plans[l].execute(&x);
             }
             let out = layer.weight.shape()[1];
             let w = layer.weight.data();
@@ -298,19 +307,102 @@ impl FrozenMlp {
     pub fn evaluate_batch(&self, inputs: &Tensor) -> Tensor {
         assert_eq!(inputs.rank(), 2, "inputs must be [batch, in_dim]");
         assert_eq!(inputs.cols(), self.in_dim(), "input width mismatch");
+        let rows = inputs.rows();
+        let mut scratch = BatchScratch::new();
+        let out = self.evaluate_batch_into(inputs.data(), rows, &mut scratch);
+        Tensor::from_vec(out.to_vec(), &[rows, self.out_dim()])
+    }
+
+    /// The widest `rows × width` buffer any stage of a `rows`-row batch
+    /// needs.
+    fn scratch_len(&self, rows: usize) -> usize {
+        let widest = self
+            .layers
+            .iter()
+            .flat_map(|l| l.weight.shape().iter().copied())
+            .max()
+            .expect("at least one layer");
+        rows * widest
+    }
+
+    /// Batched forward pass into caller-owned scratch — the serving hot
+    /// path. Bit-identical to [`evaluate_batch`](Self::evaluate_batch)
+    /// (which delegates here); performs **zero heap allocations** once
+    /// `scratch` has grown to this model's widest stage (quantization
+    /// executes frozen plans in place, each matmul writes into the
+    /// ping-pong buffer, bias/ReLU are in-place). The returned slice
+    /// (`rows × out_dim`, borrowed from `scratch`) is valid until the
+    /// next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows * self.in_dim()`.
+    pub fn evaluate_batch_into<'s>(
+        &self,
+        inputs: &[f32],
+        rows: usize,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [f32] {
+        assert_eq!(inputs.len(), rows * self.in_dim(), "input width mismatch");
         let last = self.layers.len() - 1;
-        let mut x = inputs.clone();
+        scratch.reserve(self.scratch_len(rows));
+        let (mut cur, mut nxt) = (&mut scratch.a, &mut scratch.b);
+        let mut width = self.in_dim();
+        cur[..rows * width].copy_from_slice(inputs);
         for (l, layer) in self.layers.iter().enumerate() {
+            let out_w = layer.weight.shape()[1];
             if let Some(act) = &self.act {
-                let q = act.format.quantize_slice_with_max(act.max[l], x.data());
-                x = Tensor::from_vec(q, x.shape());
+                act.plans[l].execute_in_place(&mut cur[..rows * width]);
             }
-            x = x.matmul(&layer.weight).add_row(&layer.bias);
+            Tensor::matmul_slice_into(
+                &cur[..rows * width],
+                rows,
+                width,
+                &layer.weight,
+                &mut nxt[..rows * out_w],
+            );
+            for row in nxt[..rows * out_w].chunks_mut(out_w) {
+                for (o, &b) in row.iter_mut().zip(layer.bias.data()) {
+                    *o += b;
+                }
+            }
             if l < last {
-                x = x.map(|v| v.max(0.0));
+                for o in nxt[..rows * out_w].iter_mut() {
+                    *o = o.max(0.0);
+                }
             }
+            std::mem::swap(&mut cur, &mut nxt);
+            width = out_w;
         }
-        x
+        &cur[..rows * width]
+    }
+}
+
+/// Reusable ping-pong buffers for [`FrozenMlp::evaluate_batch_into`].
+///
+/// Grows (once) to the widest stage it has seen and never shrinks, so a
+/// long-lived worker thread reaches a steady state with no per-request
+/// heap traffic.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Ensure both buffers hold at least `len` elements.
+    fn reserve(&mut self, len: usize) {
+        if self.a.len() < len {
+            self.a.resize(len, 0.0);
+        }
+        if self.b.len() < len {
+            self.b.resize(len, 0.0);
+        }
     }
 }
 

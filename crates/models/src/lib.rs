@@ -26,7 +26,7 @@ pub mod resnet;
 pub mod seq2seq;
 pub mod transformer;
 
-pub use frozen::FrozenMlp;
+pub use frozen::{BatchScratch, FrozenMlp};
 pub use model::{evaluate_with_weight_transform, ModelFamily, QuantizableModel};
 pub use resnet::MiniResNet;
 pub use seq2seq::Seq2Seq;

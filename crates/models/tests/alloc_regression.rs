@@ -1,0 +1,87 @@
+//! Allocation-regression harness for the serve hot path.
+//!
+//! The batcher's whole reason for calling
+//! [`FrozenMlp::evaluate_batch_into`] with a reused [`BatchScratch`] is
+//! that a warmed lane performs **zero** heap allocations per request:
+//! frozen activation plans execute in place, the blocked matmul writes
+//! into caller scratch, and the ping-pong buffers grow once and are
+//! never released. This binary holds a counting `#[global_allocator]`
+//! and exactly one test, so nothing else allocates while the counter is
+//! armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use adaptivfloat::FormatKind;
+use af_models::{BatchScratch, FrozenMlp, ModelFamily};
+
+struct CountingAllocator;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn evaluate_batch_into_is_allocation_free_after_warmup() {
+    // Both backend families the act plans can freeze: the bit-twiddled
+    // kernel (AdaptivFloat) and the LUT codebook (Uniform at n = 8).
+    // Tensors stay well under the parallel fan-out threshold, so the
+    // whole evaluation runs on this thread.
+    for kind in [FormatKind::AdaptivFloat, FormatKind::Uniform] {
+        let calib = FrozenMlp::synth_inputs(0xA110C, 32, 40);
+        let model = FrozenMlp::synthesize(ModelFamily::Transformer, 31, &[40, 48, 24])
+            .quantize_weights(kind, 8)
+            .expect("valid format")
+            .with_act_quant(kind, 8, &calib)
+            .expect("valid format");
+
+        let rows = 16;
+        let inputs = FrozenMlp::synth_inputs(0xF00D, rows, model.in_dim());
+        let flat = inputs.data();
+
+        // Warmup: grows both scratch buffers to their steady-state size.
+        let mut scratch = BatchScratch::new();
+        let warm = model.evaluate_batch_into(flat, rows, &mut scratch).to_vec();
+
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        let mut checksum = 0.0f64;
+        for _ in 0..8 {
+            let out = model.evaluate_batch_into(flat, rows, &mut scratch);
+            checksum += out[0] as f64;
+        }
+        COUNTING.store(false, Ordering::SeqCst);
+
+        let allocs = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warmed evaluate_batch_into allocated {allocs} times",
+            model.format_name()
+        );
+        // The counted runs computed the same thing as the warmup.
+        assert_eq!(checksum, warm[0] as f64 * 8.0, "{}", model.format_name());
+    }
+}

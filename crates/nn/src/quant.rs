@@ -12,7 +12,7 @@
 //!   each activation site's |max| from offline batches, then clamps and
 //!   quantizes activations with the calibrated range.
 
-use adaptivfloat::{FormatError, FormatKind, NumberFormat};
+use adaptivfloat::{FormatError, FormatKind, NumberFormat, QuantStats};
 use std::sync::Arc;
 
 use crate::param::Param;
@@ -53,8 +53,8 @@ impl QuantSpec {
     /// Returns [`FormatError::InvalidBits`] if the format cannot be built.
     pub fn quantize_param(self, param: &mut Param) -> Result<(), FormatError> {
         let fmt = self.build()?;
-        let q = fmt.quantize_slice(param.value.data());
-        param.value.data_mut().copy_from_slice(&q);
+        let plan = fmt.plan(&QuantStats::from_slice(param.value.data()));
+        plan.execute_in_place(param.value.data_mut());
         Ok(())
     }
 }

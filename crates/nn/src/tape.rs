@@ -496,9 +496,8 @@ impl Tape {
     /// the node's current tensor); the backward pass is the
     /// straight-through estimator (identity).
     pub fn fake_quant(&mut self, a: NodeId, format: &Arc<dyn NumberFormat>) -> NodeId {
-        let v = self.value(a);
-        let q = Tensor::from_vec(format.quantize_slice(v.data()), v.shape());
-        self.push(q, Op::FakeQuant(a))
+        let plan = format.plan(&adaptivfloat::QuantStats::from_slice(self.value(a).data()));
+        self.fake_quant_plan(a, &plan)
     }
 
     /// Fake-quantize with a *calibrated* maximum (activation quantization
@@ -509,8 +508,17 @@ impl Tape {
         format: &Arc<dyn NumberFormat>,
         max_abs: f32,
     ) -> NodeId {
+        let len = self.value(a).len();
+        let plan = format.plan(&adaptivfloat::QuantStats::calibrated_with_len(max_abs, len));
+        self.fake_quant_plan(a, &plan)
+    }
+
+    /// Fake-quantize through a prebuilt [`adaptivfloat::QuantPlan`] —
+    /// the callee for the two builders above, and the entry point for
+    /// layers that froze a plan ahead of time; backward is STE.
+    pub fn fake_quant_plan(&mut self, a: NodeId, plan: &adaptivfloat::QuantPlan) -> NodeId {
         let v = self.value(a);
-        let q = Tensor::from_vec(format.quantize_slice_with_max(max_abs, v.data()), v.shape());
+        let q = Tensor::from_vec(plan.execute(v.data()), v.shape());
         self.push(q, Op::FakeQuant(a))
     }
 

@@ -12,7 +12,7 @@
 
 use adaptivfloat::{
     AdaptivFloat, AdaptivParams, BlockFloat, DecodePolicy, DecodeStats, FixedPoint, FormatError,
-    FormatKind, IeeeLikeFloat, PackedCodes, Posit, Uniform,
+    FormatKind, IeeeLikeFloat, NumberFormat, PackedCodes, PlanParams, Posit, QuantStats, Uniform,
 };
 
 /// A fitted per-tensor storage codec: format geometry plus the derived
@@ -66,10 +66,21 @@ impl StorageCodec {
     /// Returns [`FormatError::InvalidBits`] if `n` is invalid for the
     /// kind's geometry.
     pub fn fit(kind: FormatKind, n: u32, data: &[f32]) -> Result<Self, FormatError> {
+        // One scan of the clean tensor, then the format's own planner
+        // derives the side parameters — the same frozen values every
+        // quantization call site uses, read back through the plan.
+        let stats = QuantStats::from_slice(data);
         Ok(match kind {
             FormatKind::AdaptivFloat => {
                 let fmt = AdaptivFloat::new(n, 3.min(n - 1))?;
-                let params = fmt.params_for(data);
+                let PlanParams::AdaptivFloat { exp_bias } = *fmt.plan(&stats).params() else {
+                    unreachable!("AdaptivFloat plans carry an exponent bias")
+                };
+                let params = AdaptivParams {
+                    n: fmt.n(),
+                    e: fmt.e(),
+                    exp_bias,
+                };
                 StorageCodec::Adaptiv { fmt, params }
             }
             FormatKind::Float => {
@@ -86,27 +97,22 @@ impl StorageCodec {
             }
             FormatKind::Bfp => {
                 let fmt = BlockFloat::new(n)?;
-                let max_abs = data
-                    .iter()
-                    .copied()
-                    .filter(|v| v.is_finite())
-                    .fold(0.0f32, |acc, v| acc.max(v.abs()));
-                StorageCodec::Bfp {
-                    fmt,
-                    exp: BlockFloat::shared_exponent(max_abs),
-                }
+                let exp = match *fmt.plan(&stats).params() {
+                    PlanParams::Bfp {
+                        shared_exp: Some(e),
+                    } => e,
+                    // All-zero tensor: the planner short-circuits to the
+                    // zero backend; keep the legacy degenerate exponent.
+                    _ => BlockFloat::shared_exponent(0.0),
+                };
+                StorageCodec::Bfp { fmt, exp }
             }
             FormatKind::Uniform => {
                 let fmt = Uniform::new(n)?;
-                let max_abs = data
-                    .iter()
-                    .copied()
-                    .filter(|v| v.is_finite())
-                    .fold(0.0f32, |acc, v| acc.max(v.abs()));
-                StorageCodec::Uniform {
-                    fmt,
-                    scale: fmt.scale_for(max_abs),
-                }
+                let PlanParams::Uniform { scale } = *fmt.plan(&stats).params() else {
+                    unreachable!("Uniform plans carry a scale")
+                };
+                StorageCodec::Uniform { fmt, scale }
             }
         })
     }

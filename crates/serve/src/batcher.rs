@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use af_tensor::Tensor;
+use af_models::BatchScratch;
 
 use crate::queue::{BatchQueue, PushError};
 use crate::registry::ModelRegistry;
@@ -241,6 +241,7 @@ impl Engine {
     /// body of `GET /stats`).
     pub fn stats_json(&self) -> String {
         let mut lanes = String::new();
+        let (mut plans_built, mut plan_cache_hits) = (0usize, 0usize);
         for (i, id) in self.registry.ids().iter().enumerate() {
             if i > 0 {
                 lanes.push(',');
@@ -248,6 +249,8 @@ impl Engine {
             let depth = self.queue_depth(id).unwrap_or(0);
             match self.registry.get(id) {
                 Some(v) => {
+                    plans_built += v.plans_built;
+                    plan_cache_hits += v.plan_cache_hits;
                     let act = v
                         .model
                         .act_format_name()
@@ -255,7 +258,8 @@ impl Engine {
                     lanes.push_str(&format!(
                         "{{\"id\":\"{}\",\"family\":\"{}\",\"weight_format\":\"{}\",\
                          \"act_format\":{},\"in_dim\":{},\"out_dim\":{},\"params\":{},\
-                         \"generation\":{},\"warmed_codebooks\":{},\"queue_depth\":{}}}",
+                         \"generation\":{},\"warmed_codebooks\":{},\"plans_built\":{},\
+                         \"plan_cache_hits\":{},\"queue_depth\":{}}}",
                         v.id,
                         v.model.family().label(),
                         v.model.format_name(),
@@ -265,6 +269,8 @@ impl Engine {
                         v.model.param_count(),
                         v.generation,
                         v.warmed_codebooks,
+                        v.plans_built,
+                        v.plan_cache_hits,
                         depth,
                     ));
                 }
@@ -272,8 +278,11 @@ impl Engine {
             }
         }
         format!(
-            "{{{},\"max_batch\":{},\"max_wait_us\":{},\"queue_cap\":{},\"variants\":[{}]}}\n",
+            "{{{},\"plans_built\":{},\"plan_cache_hits\":{},\"max_batch\":{},\
+             \"max_wait_us\":{},\"queue_cap\":{},\"variants\":[{}]}}\n",
             self.stats.snapshot().json_fields(),
+            plans_built,
+            plan_cache_hits,
             self.cfg.max_batch,
             self.cfg.max_wait.as_micros(),
             self.cfg.queue_cap,
@@ -311,6 +320,13 @@ fn run_lane(
     stats: &ServeStats,
     cfg: EngineConfig,
 ) {
+    // Worker-lifetime buffers: the flat input rows and the model's
+    // ping-pong scratch grow to the steady-state batch size once, after
+    // which the evaluate pass performs no heap allocation (the variant's
+    // frozen plans quantize in place and each matmul writes into
+    // scratch).
+    let mut flat: Vec<f32> = Vec::new();
+    let mut scratch = BatchScratch::new();
     while let Some(batch) = queue.pop_batch(cfg.max_batch, cfg.max_wait) {
         if batch.is_empty() {
             continue;
@@ -358,15 +374,19 @@ fn run_lane(
             continue;
         }
         stats.on_batch(rows.len());
-        let mut flat = Vec::with_capacity(rows.len() * in_dim);
+        flat.clear();
         for job in &rows {
             flat.extend_from_slice(&job.input);
         }
-        let inputs = Tensor::from_vec(flat, &[rows.len(), in_dim]);
-        let outputs = variant.model.evaluate_batch(&inputs);
+        let outputs = variant
+            .model
+            .evaluate_batch_into(&flat, rows.len(), &mut scratch);
+        let out_dim = variant.model.out_dim();
         for (r, job) in rows.into_iter().enumerate() {
             stats.on_completed();
-            let _ = job.reply.send(Ok(outputs.row(r).to_vec()));
+            let _ = job
+                .reply
+                .send(Ok(outputs[r * out_dim..(r + 1) * out_dim].to_vec()));
         }
     }
 }
@@ -521,5 +541,9 @@ mod tests {
         assert!(json.contains("\"id\":\"resnet/adaptivfloat8\""));
         assert!(json.contains("\"weight_format\":\"AdaptivFloat<8,3>\""));
         assert!(json.contains("\"queue_depth\":0"));
+        // The quantized variant froze 2 weight + 2 activation plans; the
+        // fp32 variant froze none.
+        assert!(json.contains("\"plans_built\":4"));
+        assert!(json.contains("\"plan_cache_hits\":"));
     }
 }

@@ -75,6 +75,13 @@ pub struct ModelVariant {
     pub model: FrozenMlp,
     /// Codebook-path layers warmed at registration time.
     pub warmed_codebooks: usize,
+    /// Quantization plans frozen while building this snapshot (one per
+    /// weight tensor plus one per activation layer).
+    pub plans_built: usize,
+    /// Of the codebook-backed activation plans, how many found their
+    /// codebook already warm in the process-wide cache (shared with an
+    /// earlier registration) instead of building it.
+    pub plan_cache_hits: usize,
     /// Bumped on every hot swap of this id (0 for the first build).
     pub generation: u64,
 }
@@ -106,12 +113,23 @@ impl ModelRegistry {
     /// cannot be built at its word size.
     pub fn register(&self, spec: &VariantSpec) -> Result<Arc<ModelVariant>, FormatError> {
         let mut model = FrozenMlp::synthesize(spec.family, spec.seed, &spec.dims);
+        let mut plans_built = 0usize;
+        let mut plan_cache_hits = 0usize;
         if let Some((kind, n)) = spec.weight_format {
             model = model.quantize_weights(kind, n)?;
+            plans_built += model.depth();
         }
         if let Some((kind, n)) = spec.act_format {
             let calib = FrozenMlp::synth_inputs(spec.seed ^ 0xCA11_B8A7, CALIB_ROWS, spec.dims[0]);
+            // Freezing the activation plans resolves their codebooks
+            // against the process-wide cache: each miss takes the cache's
+            // write lock exactly once, so the lock-acquisition delta is
+            // the number of fresh builds, and the rest were cache hits.
+            let builds_before = adaptivfloat::lut::write_lock_acquisitions();
             model = model.with_act_quant(kind, n, &calib)?;
+            let fresh_builds = adaptivfloat::lut::write_lock_acquisitions() - builds_before;
+            plans_built += model.depth();
+            plan_cache_hits += model.prewarm_codebooks().saturating_sub(fresh_builds);
         }
         let warmed_codebooks = model.prewarm_codebooks();
         let mut map = self.inner.write().expect("registry poisoned");
@@ -120,6 +138,8 @@ impl ModelRegistry {
             id: spec.id.clone(),
             model,
             warmed_codebooks,
+            plans_built,
+            plan_cache_hits,
             generation,
         });
         map.insert(spec.id.clone(), Arc::clone(&variant));
@@ -184,6 +204,20 @@ mod tests {
         assert_eq!(v.generation, 0);
         assert_eq!(reg.ids(), vec!["resnet/uniform8".to_string()]);
         assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn plan_counters_track_builds_and_cache_reuse() {
+        let reg = ModelRegistry::new();
+        let a = reg.register(&spec("a")).unwrap();
+        // Two dense layers, weights + activations both planned.
+        assert_eq!(a.plans_built, 4);
+        // A second variant under the same spec resolves the same
+        // codebooks: every codebook-backed activation plan is a hit.
+        let b = reg.register(&spec("b")).unwrap();
+        assert_eq!(b.plans_built, 4);
+        assert_eq!(b.plan_cache_hits, b.warmed_codebooks);
+        assert!(b.warmed_codebooks > 0);
     }
 
     #[test]

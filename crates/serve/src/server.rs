@@ -9,7 +9,7 @@
 //! * `POST /v1/infer/<variant>` — body is a length-delimited `f32`
 //!   vector ([`crate::http::encode_f32_body`]); an optional
 //!   `x-deadline-ms` header overrides the engine's default deadline.
-//!   Errors map onto [`ServeError::http_status`]: 404 unknown variant,
+//!   Errors map onto [`crate::ServeError::http_status`]: 404 unknown variant,
 //!   400 bad width or framing, 429 shed, 504 deadline, 503 shutdown.
 
 use std::io::{self, BufReader, BufWriter};

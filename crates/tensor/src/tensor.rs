@@ -284,22 +284,51 @@ impl Tensor {
     ///
     /// Panics if shapes are not `[m, k] · [k, n]`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
-        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let (m, n) = (self.shape[0], other.shape[1]);
         let mut out = vec![0.0f32; m * n];
+        self.matmul_into(other, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `self · other` written into a caller-provided
+    /// buffer, bit-identical to [`matmul`](Self::matmul). `out` is fully
+    /// overwritten; no heap allocation happens here, which lets hot loops
+    /// (the serving engine, batched model evaluation) reuse scratch
+    /// buffers across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `[m, k] · [k, n]` or `out.len() != m * n`.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut [f32]) {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        Tensor::matmul_slice_into(&self.data, self.shape[0], self.shape[1], other, out);
+    }
+
+    /// Matrix product `a · b` where the left operand is a raw row-major
+    /// `m × k` slice — the scratch-buffer form of
+    /// [`matmul_into`](Self::matmul_into), bit-identical to it. `out` is
+    /// fully overwritten and nothing is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not rank 2 with `k` rows, `a.len() != m * k`, or
+    /// `out.len() != m * b.cols()`.
+    pub fn matmul_slice_into(a: &[f32], m: usize, k: usize, b: &Tensor, out: &mut [f32]) {
+        assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        assert_eq!(a.len(), m * k, "matmul_slice_into lhs length");
+        assert_eq!(out.len(), m * n, "matmul_slice_into output length");
+        out.fill(0.0);
         if n > 0 {
             let rows_per = par_row_block(m, k, n);
-            par::par_chunks_mut(&mut out, rows_per * n, |ci, out_chunk| {
+            par::par_chunks_mut(out, rows_per * n, |ci, out_chunk| {
                 let row0 = ci * rows_per;
                 let rows = out_chunk.len() / n;
-                let a_rows = &self.data[row0 * k..(row0 + rows) * k];
-                matmul_rows_kernel(a_rows, &other.data, out_chunk, k, n);
+                let a_rows = &a[row0 * k..(row0 + rows) * k];
+                matmul_rows_kernel(a_rows, &b.data, out_chunk, k, n);
             });
         }
-        Tensor::from_vec(out, &[m, n])
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -578,6 +607,28 @@ mod tests {
     #[should_panic(expected = "inner dims")]
     fn matmul_shape_mismatch_panics() {
         Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn matmul_into_bit_identical_to_matmul() {
+        // Large enough to cross the parallel threshold and exercise the
+        // blocked kernel; scratch starts dirty to prove full overwrite.
+        let (m, k, n) = (65, 130, 520);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect(),
+            &[k, n],
+        );
+        let reference = a.matmul(&b);
+        let mut scratch = vec![f32::NAN; m * n];
+        a.matmul_into(&b, &mut scratch);
+        assert_eq!(scratch, reference.data());
+        scratch.fill(7.0);
+        Tensor::matmul_slice_into(a.data(), m, k, &b, &mut scratch);
+        assert_eq!(scratch, reference.data());
     }
 
     #[test]

@@ -13,13 +13,32 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== plan API boundary (no backend internals outside crates/core) =="
+# Everything downstream must quantize through NumberFormat::plan /
+# QuantPlan; reaching for the LUT or kernel entry points directly skips
+# the planner's backend choice and its bit-identity guarantees. The
+# cache-observability surface (lut::prewarm, lut::write_lock_acquisitions,
+# lut::is_warm) stays fair game.
+if grep -rnE "lut::(quantize_slice|cached|lookup)|LutQuantizer|kernels::|FastQuantizer" \
+    crates --include="*.rs" | grep -v "^crates/core/"; then
+    echo "error: backend internals referenced outside crates/core (use NumberFormat::plan)" >&2
+    exit 1
+fi
+echo "ok: no backend internals outside crates/core"
+
 echo "== cargo test =="
 cargo test --workspace -q
 
-echo "== serving bit-identity under AF_NUM_THREADS=1 =="
-# The batched-equals-per-sample invariant must hold at any thread count;
-# re-run the pinning tests with the runtime forced to a single thread.
+echo "== bit-identity under AF_NUM_THREADS=1 =="
+# The batched-equals-per-sample and plan-equals-every-backend invariants
+# must hold at any thread count; re-run the pinning tests with the
+# runtime forced to a single thread.
+AF_NUM_THREADS=1 cargo test -q -p adaptivfloat --test plan_matches_backends
 AF_NUM_THREADS=1 cargo test -q -p af-models --test frozen_batch
+AF_NUM_THREADS=1 cargo test -q -p af-models --test alloc_regression
 AF_NUM_THREADS=1 cargo test -q --test serve_e2e
 
 echo "== fault_sweep smoke (--quick) =="
