@@ -15,8 +15,9 @@ fn main() {
     println!("{}", sweep.rendered);
     std::fs::write(&out, &sweep.json).expect("write BENCH_resilience.json");
     println!(
-        "\nwrote {out} ({} storage cells, {} end-task cells)",
+        "\nwrote {out} ({} storage cells, {} end-task cells, {} protected cells)",
         sweep.storage.len(),
-        sweep.end_task.len()
+        sweep.end_task.len(),
+        sweep.protected.len()
     );
 }

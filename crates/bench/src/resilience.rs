@@ -13,6 +13,12 @@
 //!   [`af_models::evaluate_with_weight_transform`], reporting the task
 //!   metric (Top-1 / BLEU / WER) after corruption, under the hardened
 //!   decoder.
+//! * **Protected** — SEC-DED protected storage
+//!   ([`af_resilience::ProtectedCodes`]) against bare packed codes at
+//!   equal *bit-level* BER (the fault map addresses every stored bit,
+//!   parity included), reporting the end-task metric alongside the
+//!   corrected / detected-uncorrectable counters — the serving story of
+//!   this workspace's protected variants, measured end to end.
 //!
 //! The `fault_sweep` binary prints the rendered tables and writes the
 //! structured cells to `BENCH_resilience.json`.
@@ -21,8 +27,9 @@ use adaptivfloat::{DecodePolicy, DecodeStats, FormatKind};
 use af_models::{evaluate_with_weight_transform, ModelFamily, QuantizableModel};
 use af_resilience::rng::mix;
 use af_resilience::{
-    inject_f32, inject_packed, run_f32_campaign, run_weight_campaign, CampaignConfig,
-    CampaignOutcome, FaultKind, FaultSpec, StorageCodec,
+    inject_f32, inject_packed, inject_packed_bits, inject_protected_bits, run_f32_campaign,
+    run_weight_campaign, CampaignConfig, CampaignOutcome, FaultKind, FaultSpec, ProtectedCodes,
+    StorageCodec, CODEWORD_BITS,
 };
 
 use crate::render::TextTable;
@@ -37,6 +44,13 @@ pub const STORAGE_RATES: [f64; 4] = [0.0, 1e-4, 1e-3, 1e-2];
 
 /// Fault rates swept in the (more expensive) end-task section.
 pub const END_TASK_RATES: [f64; 3] = [0.0, 1e-3, 1e-2];
+
+/// Bit-level BERs swept in the protected-vs-unprotected section.
+pub const PROTECTED_BERS: [f64; 4] = [0.0, 1e-4, 1e-3, 5e-3];
+
+/// Formats carried through the protected sweep (the paper's format and
+/// the uniform-integer baseline).
+pub const PROTECTED_FORMATS: [FormatKind; 2] = [FormatKind::AdaptivFloat, FormatKind::Uniform];
 
 /// One storage-campaign cell: model × format × width × rate × policy.
 #[derive(Debug, Clone)]
@@ -78,6 +92,34 @@ pub struct EndTaskCell {
     pub repaired: u64,
 }
 
+/// One protected-sweep cell: the end-task metric with weight storage
+/// struck at a bit-level BER, with and without SEC-DED protection.
+#[derive(Debug, Clone)]
+pub struct ProtectedCell {
+    /// Model evaluated.
+    pub model: String,
+    /// Task metric name (Top-1 / BLEU / WER).
+    pub metric_name: &'static str,
+    /// Format label.
+    pub format: String,
+    /// Stored word size in bits.
+    pub bits: u32,
+    /// Per-bit fault probability over the raw storage image.
+    pub ber: f64,
+    /// Whether the codes sat behind SEC-DED parity.
+    pub protected: bool,
+    /// The model's uncorrupted FP32 metric (reference).
+    pub fp32_metric: f64,
+    /// Task metric after corrupt-then-decode of all weight matrices.
+    pub metric: f64,
+    /// Storage bits actually struck by the fault maps.
+    pub bits_struck: u64,
+    /// Words the SEC-DED read corrected (0 for unprotected cells).
+    pub corrected: u64,
+    /// Words detected uncorrectable (0 for unprotected cells).
+    pub uncorrectable: u64,
+}
+
 /// Sweep data plus the rendered tables and the JSON document.
 #[derive(Debug, Clone)]
 pub struct Resilience {
@@ -85,6 +127,8 @@ pub struct Resilience {
     pub storage: Vec<StorageCell>,
     /// End-task cells.
     pub end_task: Vec<EndTaskCell>,
+    /// Protected-vs-unprotected cells.
+    pub protected: Vec<ProtectedCell>,
     /// `BENCH_resilience.json` contents.
     pub json: String,
     /// Rendered text tables.
@@ -189,6 +233,50 @@ fn end_task_metric(
     (metric, faults, stats)
 }
 
+/// Evaluate the model with each weight matrix's packed codes struck at
+/// a bit-level BER, either bare or behind SEC-DED parity. The protected
+/// arm reads through [`ProtectedCodes::decode`] (the serving read path:
+/// single-bit words corrected, uncorrectable words passed through raw);
+/// both arms then decode values under the hardened policy. Returns
+/// `(metric, bits_struck, corrected, uncorrectable)`.
+fn protected_end_task(
+    model: &mut dyn QuantizableModel,
+    samples: usize,
+    kind: FormatKind,
+    n: u32,
+    ber: f64,
+    protected: bool,
+) -> (f64, u64, u64, u64) {
+    let mut struck = 0u64;
+    let mut corrected = 0u64;
+    let mut uncorrectable = 0u64;
+    let metric = evaluate_with_weight_transform(model, samples, |layer, w| {
+        let spec = FaultSpec {
+            kind: FaultKind::SingleBit,
+            rate: ber,
+            seed: CAMPAIGN_SEED ^ mix(layer as u64),
+        };
+        let codec = StorageCodec::fit(kind, n, w).expect("valid geometry");
+        let mut packed = codec.encode_slice(w);
+        let snapshot = if protected {
+            let mut store = ProtectedCodes::protect(packed);
+            let map = spec.sample(store.raw_words() * CODEWORD_BITS as usize, 1);
+            struck += inject_protected_bits(&mut store, &map) as u64;
+            let (snapshot, report) = store.decode();
+            corrected += report.corrected as u64;
+            uncorrectable += report.uncorrectable as u64;
+            snapshot
+        } else {
+            let map = spec.sample(packed.len() * n as usize, 1);
+            struck += inject_packed_bits(&mut packed, &map) as u64;
+            packed
+        };
+        let (vals, _) = codec.decode_slice(&snapshot, DecodePolicy::Harden);
+        w.copy_from_slice(&vals);
+    });
+    (metric, struck, corrected, uncorrectable)
+}
+
 /// Run the full fault sweep. Quick mode trains the ResNet mini only;
 /// full mode sweeps all three families.
 pub fn run(quick: bool) -> Resilience {
@@ -204,6 +292,7 @@ pub fn run(quick: bool) -> Resilience {
     };
     let mut storage = Vec::new();
     let mut end_task = Vec::new();
+    let mut protected = Vec::new();
     for family in families {
         let mut model = build(family, 42);
         model.train_steps(fp32_steps(&budget, family));
@@ -241,18 +330,46 @@ pub fn run(quick: bool) -> Resilience {
             let cell = end_task_metric(model.as_mut(), samples, None, 32, rate);
             push("FP32".to_string(), 32, rate, cell);
         }
+        for n in [4u32, 8] {
+            for kind in PROTECTED_FORMATS {
+                for &ber in &PROTECTED_BERS {
+                    for prot in [false, true] {
+                        let (metric, bits_struck, corrected, uncorrectable) =
+                            protected_end_task(model.as_mut(), samples, kind, n, ber, prot);
+                        protected.push(ProtectedCell {
+                            model: family.label().to_string(),
+                            metric_name: family.metric(),
+                            format: kind.label().to_string(),
+                            bits: n,
+                            ber,
+                            protected: prot,
+                            fp32_metric,
+                            metric,
+                            bits_struck,
+                            corrected,
+                            uncorrectable,
+                        });
+                    }
+                }
+            }
+        }
     }
-    let json = render_json(quick, &storage, &end_task);
-    let rendered = render_tables(&storage, &end_task);
+    let json = render_json(quick, &storage, &end_task, &protected);
+    let rendered = render_tables(&storage, &end_task, &protected);
     Resilience {
         storage,
         end_task,
+        protected,
         json,
         rendered,
     }
 }
 
-fn render_tables(storage: &[StorageCell], end_task: &[EndTaskCell]) -> String {
+fn render_tables(
+    storage: &[StorageCell],
+    end_task: &[EndTaskCell],
+    protected: &[ProtectedCell],
+) -> String {
     let mut st = TextTable::new([
         "model",
         "format",
@@ -303,12 +420,43 @@ fn render_tables(storage: &[StorageCell], end_task: &[EndTaskCell]) -> String {
             format!("{:+.2}", c.metric - c.fp32_metric),
         ]);
     }
+    let mut pt = TextTable::new([
+        "model",
+        "metric",
+        "format",
+        "bits",
+        "BER",
+        "ECC",
+        "struck",
+        "corrected",
+        "uncorr.",
+        "value",
+        "Δ vs FP32",
+    ]);
+    for c in protected {
+        pt.row([
+            c.model.clone(),
+            c.metric_name.to_string(),
+            c.format.clone(),
+            c.bits.to_string(),
+            format!("{:.0e}", c.ber),
+            if c.protected { "SEC-DED" } else { "none" }.to_string(),
+            c.bits_struck.to_string(),
+            c.corrected.to_string(),
+            c.uncorrectable.to_string(),
+            format!("{:.2}", c.metric),
+            format!("{:+.2}", c.metric - c.fp32_metric),
+        ]);
+    }
     format!(
         "Fault sweep A: weight-storage RMS damage vs single-bit fault rate\n\
          (degradation = faulty RMS − the format's own quantization floor)\n{}\n\n\
-         Fault sweep B: end-task metric under hardened decode\n{}",
+         Fault sweep B: end-task metric under hardened decode\n{}\n\n\
+         Fault sweep C: SEC-DED protected vs bare storage at bit-level BER\n\
+         (protected reads correct single-bit words; uncorrectable words pass through raw)\n{}",
         st.render(),
-        et.render()
+        et.render(),
+        pt.render()
     )
 }
 
@@ -321,7 +469,12 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn render_json(quick: bool, storage: &[StorageCell], end_task: &[EndTaskCell]) -> String {
+fn render_json(
+    quick: bool,
+    storage: &[StorageCell],
+    end_task: &[EndTaskCell],
+    protected: &[ProtectedCell],
+) -> String {
     let st: Vec<String> = storage
         .iter()
         .map(|c| {
@@ -362,13 +515,36 @@ fn render_json(quick: bool, storage: &[StorageCell], end_task: &[EndTaskCell]) -
             )
         })
         .collect();
+    let pt: Vec<String> = protected
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"model\":\"{}\",\"metric\":\"{}\",\"format\":\"{}\",\"bits\":{},\"ber\":{},\
+                 \"protected\":{},\"fp32_metric\":{},\"metric\":{},\"bits_struck\":{},\
+                 \"corrected\":{},\"uncorrectable\":{}}}",
+                c.model,
+                c.metric_name,
+                c.format,
+                c.bits,
+                json_num(c.ber),
+                c.protected,
+                json_num(c.fp32_metric),
+                json_num(c.metric),
+                c.bits_struck,
+                c.corrected,
+                c.uncorrectable,
+            )
+        })
+        .collect();
     format!(
         "{{\n \"bench\": \"fault_sweep\",\n \"mode\": \"{}\",\n \"fault_model\": \"single_bit\",\n \
-         \"campaign_seed\": {},\n \"storage\": [\n  {}\n ],\n \"end_task\": [\n  {}\n ]\n}}\n",
+         \"campaign_seed\": {},\n \"storage\": [\n  {}\n ],\n \"end_task\": [\n  {}\n ],\n \
+         \"protected\": [\n  {}\n ]\n}}\n",
         if quick { "quick" } else { "full" },
         CAMPAIGN_SEED,
         st.join(",\n  "),
         et.join(",\n  "),
+        pt.join(",\n  "),
     )
 }
 
@@ -461,14 +637,69 @@ mod tests {
     }
 
     #[test]
-    fn json_document_carries_both_sections() {
+    fn json_document_carries_all_sections() {
         let r = shared();
         assert!(r.json.contains("\"bench\": \"fault_sweep\""));
         assert!(r.json.contains("\"storage\""));
         assert!(r.json.contains("\"end_task\""));
         assert!(r.json.contains("\"degradation\""));
+        assert!(r.json.contains("\"protected\""));
+        assert!(r.json.contains("\"uncorrectable\""));
         assert!(!r.json.contains("NaN"), "JSON must stay parseable");
         assert!(!r.json.contains("inf"), "JSON must stay parseable");
+    }
+
+    #[test]
+    fn protected_sweep_pairs_every_cell_and_corrects_under_fault() {
+        let r = shared();
+        for kind in PROTECTED_FORMATS {
+            for n in [4u32, 8] {
+                for &ber in &PROTECTED_BERS {
+                    for prot in [false, true] {
+                        assert!(
+                            r.protected.iter().any(|c| c.format == kind.label()
+                                && c.bits == n
+                                && c.ber == ber
+                                && c.protected == prot),
+                            "missing protected cell {kind} n={n} ber={ber} prot={prot}"
+                        );
+                    }
+                }
+            }
+        }
+        // Zero-BER arms are identical: protection changes nothing when
+        // nothing is struck.
+        for c in r.protected.iter().filter(|c| c.ber == 0.0) {
+            assert_eq!(c.bits_struck, 0);
+            assert_eq!((c.corrected, c.uncorrectable), (0, 0));
+            let twin = r
+                .protected
+                .iter()
+                .find(|t| {
+                    t.format == c.format
+                        && t.bits == c.bits
+                        && t.ber == 0.0
+                        && t.protected != c.protected
+                })
+                .expect("paired arm");
+            assert_eq!(c.metric.to_bits(), twin.metric.to_bits());
+        }
+        // At the highest BER the SEC-DED read must actually correct.
+        let highest = PROTECTED_BERS[PROTECTED_BERS.len() - 1];
+        let hot: Vec<_> = r
+            .protected
+            .iter()
+            .filter(|c| c.protected && c.ber == highest)
+            .collect();
+        assert!(!hot.is_empty());
+        assert!(
+            hot.iter().all(|c| c.corrected > 0),
+            "a {highest} BER sweep over whole weight tensors must hit correctable words"
+        );
+        // Unprotected arms never report ECC activity.
+        for c in r.protected.iter().filter(|c| !c.protected) {
+            assert_eq!((c.corrected, c.uncorrectable), (0, 0));
+        }
     }
 
     #[test]

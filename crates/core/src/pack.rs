@@ -148,6 +148,22 @@ impl PackedCodes {
     pub fn packed_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// The raw `u64` storage words backing the packed codes — the
+    /// memory-row granularity an ECC layer protects. Padding bits past
+    /// the last code are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the raw storage words, for layers that repair
+    /// or corrupt storage at memory-row granularity (ECC scrubbing,
+    /// fault injection). Writing bits past `len × width` is harmless to
+    /// every code-level accessor but *is* visible to [`words`](Self::words)
+    /// — exactly like real SRAM padding under a parity check.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
 }
 
 impl Extend<u64> for PackedCodes {
@@ -275,6 +291,29 @@ mod tests {
     fn set_out_of_bounds_panics() {
         let mut p = PackedCodes::new(8);
         p.set(0, 1);
+    }
+
+    #[test]
+    fn raw_words_expose_the_exact_storage_image() {
+        let mut p = PackedCodes::new(5);
+        for i in 0..40u64 {
+            p.push(i % 32);
+        }
+        // 40 × 5 bits = 200 bits → 4 words.
+        assert_eq!(p.words().len(), 4);
+        let before: Vec<u64> = p.iter().collect();
+        // Flipping a raw storage bit perturbs exactly the code holding it.
+        p.words_mut()[0] ^= 1 << 7; // bit 7 lives in code 1 (bits 5..10)
+        let after: Vec<u64> = p.iter().collect();
+        assert_eq!(after[1], before[1] ^ (1 << 2));
+        for (i, (&a, &b)) in after.iter().zip(&before).enumerate() {
+            if i != 1 {
+                assert_eq!(a, b, "code {i} must be untouched");
+            }
+        }
+        // Undo through the same surface restores bit-identity.
+        p.words_mut()[0] ^= 1 << 7;
+        assert_eq!(p.iter().collect::<Vec<_>>(), before);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! on [`parallelism_worthwhile`] — below the cutoff the serial loop is
 //! both simpler and faster.
 
-use std::sync::OnceLock;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Mutex, OnceLock};
 
 /// Minimum number of per-element operations before fanning out threads
 /// is worth the spawn cost (see [`parallelism_worthwhile`]).
@@ -66,7 +67,10 @@ pub fn parallelism_worthwhile(len: usize) -> bool {
 ///
 /// # Panics
 ///
-/// Panics if `chunk_len == 0`. A panic inside `f` propagates.
+/// Panics if `chunk_len == 0`. A panic inside `f` propagates to the
+/// caller with its original payload: every other worker finishes its
+/// chunks first (no chunk is skipped, no join is deadlocked), then the
+/// first captured panic is resumed at the call site.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -88,24 +92,35 @@ where
     for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
         work[i % buckets].push((i, chunk));
     }
+    // Each bucket catches its own panic so sibling workers always run to
+    // completion and `scope`'s implicit join can never see an unjoined
+    // panicked thread; the first payload is re-raised on the caller.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let run_bucket = |bucket: Vec<(usize, &mut [T])>| {
+        for (i, chunk) in bucket {
+            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, chunk))) {
+                first_panic
+                    .lock()
+                    .expect("panic slot poisoned")
+                    .get_or_insert(payload);
+            }
+        }
+    };
     std::thread::scope(|scope| {
-        let f = &f;
+        let run_bucket = &run_bucket;
         let mut first = None;
         for (t, bucket) in work.into_iter().enumerate() {
             if t == 0 {
                 first = Some(bucket); // run on the calling thread
             } else {
-                scope.spawn(move || {
-                    for (i, chunk) in bucket {
-                        f(i, chunk);
-                    }
-                });
+                scope.spawn(move || run_bucket(bucket));
             }
         }
-        for (i, chunk) in first.expect("at least one bucket") {
-            f(i, chunk);
-        }
+        run_bucket(first.expect("at least one bucket"));
     });
+    if let Some(payload) = first_panic.into_inner().expect("panic slot poisoned") {
+        std::panic::resume_unwind(payload);
+    }
 }
 
 /// Fill `dst` from equal-length `src` chunk-by-chunk in parallel:
@@ -289,5 +304,46 @@ mod tests {
             calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         assert_eq!(calls.into_inner(), 1);
+    }
+
+    #[test]
+    fn panic_in_one_chunk_propagates_after_others_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let processed = AtomicUsize::new(0);
+        let mut data = vec![0u8; 64];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_chunks_mut(&mut data, 4, |i, chunk| {
+                if i == 3 {
+                    panic!("chunk 3 exploded");
+                }
+                chunk.fill(1);
+                processed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        // The panic surfaces at the call site with its original payload…
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("original payload preserved");
+        assert_eq!(msg, "chunk 3 exploded");
+        if num_threads() > 1 {
+            // …and every other chunk still ran to completion (16 − 1).
+            assert_eq!(processed.load(Ordering::Relaxed), 15);
+        } else {
+            // Serial fallback: panics at chunk 3 after chunks 0..=2.
+            assert_eq!(processed.load(Ordering::Relaxed), 3);
+        }
+    }
+
+    #[test]
+    fn panic_in_serial_path_propagates_too() {
+        let mut data = vec![0u8; 8];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // One chunk ⇒ the serial fallback runs `f` inline.
+            par_chunks_mut(&mut data, 16, |_, _| panic!("serial boom"));
+        }));
+        let payload = result.expect_err("panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("serial boom"));
     }
 }

@@ -248,6 +248,62 @@ impl FrozenMlp {
         self.layers.len()
     }
 
+    /// Layer `l`'s weight matrix: its values and `[in, out]` shape.
+    /// This is the surface a protected weight store reads to build its
+    /// master copy and encoded codes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.depth()`.
+    pub fn weight_data(&self, l: usize) -> (&[f32], &[usize]) {
+        let layer = &self.layers[l];
+        (layer.weight.data(), layer.weight.shape())
+    }
+
+    /// Replace every weight matrix with externally-supplied values (one
+    /// `Vec<f32>` per layer, matching the existing shapes) and relabel
+    /// the weight format. This is the re-entry point from a protected
+    /// weight store: codes decoded from (possibly scrubbed) storage
+    /// become the served weights, so the served model is bit-identical
+    /// to what the storage actually holds. Biases are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if activation quantization is already installed (weight
+    /// swaps must precede calibration, like
+    /// [`quantize_weights`](Self::quantize_weights)), or if the layer
+    /// count or any layer's element count mismatches.
+    pub fn with_weight_data(self, weights: Vec<Vec<f32>>, format: &str) -> FrozenMlp {
+        assert!(
+            self.act.is_none(),
+            "swap weights before calibrating activations"
+        );
+        assert_eq!(weights.len(), self.layers.len(), "layer count mismatch");
+        let layers = self
+            .layers
+            .into_iter()
+            .zip(weights)
+            .map(|(l, w)| {
+                let shape = l.weight.shape().to_vec();
+                assert_eq!(
+                    w.len(),
+                    l.weight.len(),
+                    "weight element count mismatch for shape {shape:?}"
+                );
+                FrozenLayer {
+                    weight: Tensor::from_vec(w, &shape),
+                    bias: l.bias,
+                }
+            })
+            .collect();
+        FrozenMlp {
+            family: self.family,
+            format: format.to_string(),
+            layers,
+            act: self.act,
+        }
+    }
+
     /// Total scalar parameter count (weights + biases).
     pub fn param_count(&self) -> usize {
         self.layers
@@ -455,6 +511,37 @@ mod tests {
         let (ya, yb) = (a.evaluate(x.row(0)), b.evaluate(x.row(0)));
         assert_eq!(ya, yb);
         assert!(a.prewarm_codebooks() > 0);
+    }
+
+    #[test]
+    fn weight_swap_roundtrips_and_relabels() {
+        let m = FrozenMlp::synthesize(ModelFamily::ResNet, 21, &[10, 14, 4]);
+        let x = FrozenMlp::synth_inputs(2, 1, 10);
+        let want = m.evaluate(x.row(0));
+        // Read out every layer's weights and feed them straight back:
+        // the rebuilt model must be bit-identical.
+        let weights: Vec<Vec<f32>> = (0..m.depth())
+            .map(|l| m.weight_data(l).0.to_vec())
+            .collect();
+        let same = FrozenMlp::synthesize(ModelFamily::ResNet, 21, &[10, 14, 4])
+            .with_weight_data(weights.clone(), "decoded-fp32");
+        assert_eq!(same.format_name(), "decoded-fp32");
+        let got = same.evaluate(x.row(0));
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&want));
+        // Perturbed weights change the outputs (the swap is real).
+        let mut bent = weights;
+        bent[0][0] += 1.0;
+        let other = FrozenMlp::synthesize(ModelFamily::ResNet, 21, &[10, 14, 4])
+            .with_weight_data(bent, "bent");
+        assert_ne!(other.evaluate(x.row(0)), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count mismatch")]
+    fn weight_swap_rejects_wrong_shape() {
+        let m = FrozenMlp::synthesize(ModelFamily::ResNet, 1, &[8, 4]);
+        m.with_weight_data(vec![vec![0.0; 3]], "bad");
     }
 
     #[test]

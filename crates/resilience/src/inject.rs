@@ -1,8 +1,19 @@
-//! Injection adapters: apply a [`FaultMap`] to the three storage
-//! surfaces a deployed accelerator exposes — packed sub-byte code
-//! buffers, unpacked code words, and raw f32 tensors.
+//! Injection adapters: apply a [`FaultMap`] to the storage surfaces a
+//! deployed accelerator exposes — packed sub-byte code buffers
+//! (unprotected or behind SEC-DED parity), unpacked code words, and raw
+//! f32 tensors.
+//!
+//! Two granularities exist. The word-level adapters ([`inject_packed`],
+//! [`inject_codes`], [`inject_f32`]) sample one event per *code word*.
+//! The bit-level adapters ([`inject_packed_bits`],
+//! [`inject_protected_bits`]) sample the map at **width 1 over every
+//! stored bit**, so a campaign rate is a true per-bit BER and multiple
+//! independent hits can land in the same storage word — the regime
+//! where SEC-DED's double-bit detection matters.
 
+use crate::ecc::CODEWORD_BITS;
 use crate::fault::{FaultMap, FaultSpec};
+use crate::protected::ProtectedCodes;
 use adaptivfloat::PackedCodes;
 
 /// Corrupt a packed code buffer in place according to `map` (sampled at
@@ -68,6 +79,50 @@ pub fn inject_f32(data: &mut [f32], map: &FaultMap) -> usize {
 pub fn inject_packed_with(codes: &mut PackedCodes, spec: &FaultSpec) -> usize {
     let map = spec.sample(codes.len(), codes.width());
     inject_packed(codes, &map)
+}
+
+/// Corrupt an unprotected packed buffer at *bit* granularity: `map`
+/// must be sampled at width 1 over `codes.len() × codes.width()`
+/// elements, each element being one stored bit (element `i` is bit
+/// `i % width` of code `i / width`). Returns the number of bits struck.
+///
+/// # Panics
+///
+/// Panics if the map's width is not 1 or an event index addresses a bit
+/// past the last code.
+pub fn inject_packed_bits(codes: &mut PackedCodes, map: &FaultMap) -> usize {
+    assert_eq!(map.width(), 1, "bit-level maps are sampled at width 1");
+    let width = codes.width() as usize;
+    for ev in map.events() {
+        let (code, bit) = (ev.index / width, (ev.index % width) as u32);
+        let old = codes.get(code) >> bit & 1;
+        let new = ev.apply(old) & 1;
+        if new != old {
+            codes.flip_bits(code, 1u64 << bit);
+        }
+    }
+    map.len()
+}
+
+/// Corrupt SEC-DED protected storage at *bit* granularity, striking
+/// data and parity bits alike: `map` must be sampled at width 1 over
+/// `codes.raw_words() ×` [`CODEWORD_BITS`] elements (element `i` is raw
+/// bit `i % 72` — bits 64..72 being parity — of word `i / 72`).
+/// Returns the number of bits struck.
+///
+/// # Panics
+///
+/// Panics if the map's width is not 1 or an event index addresses a bit
+/// past the last protected word.
+pub fn inject_protected_bits(codes: &mut ProtectedCodes, map: &FaultMap) -> usize {
+    assert_eq!(map.width(), 1, "bit-level maps are sampled at width 1");
+    let per_word = CODEWORD_BITS as usize;
+    for ev in map.events() {
+        let (word, bit) = (ev.index / per_word, (ev.index % per_word) as u32);
+        let old = u64::from(codes.raw_bit(word, bit));
+        codes.set_raw_bit(word, bit, ev.apply(old) & 1 == 1);
+    }
+    map.len()
 }
 
 #[cfg(test)]
@@ -139,6 +194,63 @@ mod tests {
         assert!(
             data.iter().any(|v| !v.is_finite()),
             "8-bit upsets on 4096 f32s should produce at least one non-finite"
+        );
+    }
+
+    #[test]
+    fn bit_level_injection_hits_true_ber() {
+        // Bit-level maps treat every stored bit as its own element, so
+        // a rate is a per-bit BER and total flips ≈ rate × total bits.
+        let mut p = packed(4, 4096);
+        let clean = p.clone();
+        let total_bits = p.len() * 4;
+        let map = FaultSpec::single_bit(0.05, 31).sample(total_bits, 1);
+        let struck = inject_packed_bits(&mut p, &map);
+        assert!(struck > 0);
+        let flipped: u32 = clean
+            .iter()
+            .zip(p.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped as usize, struck, "each event flips one bit");
+        let rate = struck as f64 / total_bits as f64;
+        assert!((rate - 0.05).abs() < 0.01, "empirical BER {rate}");
+    }
+
+    #[test]
+    fn protected_injection_strikes_data_and_parity() {
+        use crate::ecc::CODEWORD_BITS;
+        use crate::protected::ProtectedCodes;
+        let mut prot = ProtectedCodes::protect(packed(8, 2048));
+        let clean = prot.clone();
+        let total = prot.raw_words() * CODEWORD_BITS as usize;
+        let map = FaultSpec::single_bit(0.02, 97).sample(total, 1);
+        let struck = inject_protected_bits(&mut prot, &map);
+        assert!(struck > 0);
+        let data_flips: u32 = clean
+            .codes()
+            .words()
+            .iter()
+            .zip(prot.codes().words())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        let parity_flips: u32 = clean
+            .parity()
+            .iter()
+            .zip(prot.parity())
+            .map(|(a, b)| u32::from(a ^ b).count_ones())
+            .sum();
+        assert_eq!((data_flips + parity_flips) as usize, struck);
+        assert!(data_flips > 0, "data bits must be targetable");
+        assert!(parity_flips > 0, "parity bits must be targetable");
+        // At this BER most words carry 0–1 flips: the scrub repairs the
+        // singles and reports the rest uncorrectable, never panicking.
+        let report = prot.scrub();
+        assert!(report.corrected > 0);
+        assert_eq!(
+            prot.stats().corrected,
+            report.corrected as u64,
+            "stats track the sweep"
         );
     }
 

@@ -14,6 +14,11 @@
 //!   code words, or raw f32 tensors; [`PeFaultPlan`] strikes the HFINT /
 //!   INT PE datapaths through the `af-hw` [`af_hw::DatapathFaults`]
 //!   hooks.
+//! * **Protection** ([`ecc`], [`protected`]) — the recovery half:
+//!   [`ProtectedCodes`] wraps a packed buffer in extended
+//!   Hamming(72,64) SEC-DED parity (one byte per raw storage word),
+//!   correcting any single-bit upset and detecting double-bit upsets as
+//!   uncorrectable, with scrub/decode APIs and [`EccStats`] counters.
 //! * **Campaigns** ([`codec`], [`campaign`]) — [`StorageCodec`] encodes
 //!   tensors into equal-word-size storage per [`adaptivfloat::FormatKind`];
 //!   [`run_weight_campaign`] corrupts the stored codes, decodes them
@@ -28,13 +33,21 @@
 
 pub mod campaign;
 pub mod codec;
+pub mod ecc;
 pub mod fault;
 pub mod inject;
 pub mod pe;
+pub mod protected;
 pub mod rng;
 
 pub use campaign::{run_f32_campaign, run_weight_campaign, CampaignConfig, CampaignOutcome};
 pub use codec::StorageCodec;
+pub use ecc::{decode_word, encode_word, EccStats, WordDecode, CODEWORD_BITS, PARITY_BITS};
 pub use fault::{FaultEvent, FaultKind, FaultMap, FaultSpec};
-pub use inject::{inject_codes, inject_f32, inject_packed, inject_packed_with};
+pub use inject::{
+    inject_codes, inject_f32, inject_packed, inject_packed_bits, inject_packed_with,
+    inject_protected_bits,
+};
 pub use pe::PeFaultPlan;
+pub use protected::{ProtectedCodes, ScrubReport};
+pub use rng::SplitMix64;

@@ -12,6 +12,7 @@
 //! evaluation by the invariant pinned in `af-models`.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -22,6 +23,7 @@ use af_models::BatchScratch;
 
 use crate::queue::{BatchQueue, PushError};
 use crate::registry::ModelRegistry;
+use crate::scrub::{ScrubSummary, Scrubber};
 use crate::stats::ServeStats;
 
 /// Batching, admission, and deadline policy for every lane.
@@ -38,6 +40,14 @@ pub struct EngineConfig {
     /// Synthetic per-batch service time, for load tests and saturation
     /// experiments (zero in production configurations).
     pub service_delay: Duration,
+    /// How often the background scrubber sweeps protected variant
+    /// storage (`None` disables the scrubber thread;
+    /// [`Engine::scrub_now`] always works).
+    pub scrub_period: Option<Duration>,
+    /// Fault-injection hook for supervisor tests: a lane worker panics
+    /// mid-batch when any batched input's first element bit-equals this
+    /// value (`None` in production configurations).
+    pub panic_trigger: Option<f32>,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +58,8 @@ impl Default for EngineConfig {
             queue_cap: 256,
             default_deadline: Duration::from_secs(2),
             service_delay: Duration::ZERO,
+            scrub_period: None,
+            panic_trigger: None,
         }
     }
 }
@@ -70,6 +82,9 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The engine is shutting down.
     ShuttingDown,
+    /// The lane worker died mid-batch (it was caught and restarted by
+    /// the supervisor; this request's batch was lost).
+    Internal,
 }
 
 impl ServeError {
@@ -81,6 +96,7 @@ impl ServeError {
             ServeError::Overloaded => 429,
             ServeError::DeadlineExceeded => 504,
             ServeError::ShuttingDown => 503,
+            ServeError::Internal => 500,
         }
     }
 }
@@ -95,6 +111,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "overloaded: queue full, request shed"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before evaluation"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Internal => write!(f, "internal error: batch lost to a worker fault"),
         }
     }
 }
@@ -123,12 +140,18 @@ pub struct Engine {
     lanes: HashMap<String, Lane>,
     stats: Arc<ServeStats>,
     stopping: AtomicBool,
+    scrubber: Mutex<Option<Scrubber>>,
 }
 
 impl Engine {
     /// Spawn one micro-batching lane per variant currently registered.
     /// (Variants registered afterwards are hot-swappable snapshots of
-    /// *existing* lanes; new ids need a new engine.)
+    /// *existing* lanes; new ids need a new engine.) Each lane worker
+    /// runs under a supervisor: a panic mid-batch fails that batch
+    /// closed (the in-flight requests get [`ServeError::Internal`]) and
+    /// the worker restarts. With
+    /// [`scrub_period`](EngineConfig::scrub_period) set, a background
+    /// scrubber sweeps protected variant storage at that cadence.
     pub fn start(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Engine {
         let stats = Arc::new(ServeStats::default());
         let mut lanes = HashMap::new();
@@ -139,7 +162,19 @@ impl Engine {
                 let (registry, stats) = (Arc::clone(&registry), Arc::clone(&stats));
                 std::thread::Builder::new()
                     .name(format!("af-serve:{id}"))
-                    .spawn(move || run_lane(&id, &queue, &registry, &stats, cfg))
+                    .spawn(move || loop {
+                        // Supervisor: run_lane returns only when the
+                        // queue closes; a panic unwinds here, dropping
+                        // the in-flight batch's reply senders (each
+                        // caller sees Internal), and the lane restarts.
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_lane(&id, &queue, &registry, &stats, cfg);
+                        }));
+                        match outcome {
+                            Ok(()) => break,
+                            Err(_) => stats.on_worker_restart(),
+                        }
+                    })
                     .expect("spawn lane worker")
             };
             lanes.insert(
@@ -150,12 +185,16 @@ impl Engine {
                 },
             );
         }
+        let scrubber = cfg
+            .scrub_period
+            .map(|period| Scrubber::start(Arc::clone(&registry), Arc::clone(&stats), period));
         Engine {
             registry,
             cfg,
             lanes,
             stats,
             stopping: AtomicBool::new(false),
+            scrubber: Mutex::new(scrubber),
         }
     }
 
@@ -234,7 +273,22 @@ impl Engine {
             PushError::Closed => ServeError::ShuttingDown,
         })?;
         self.stats.on_admitted();
-        receiver.recv().unwrap_or(Err(ServeError::ShuttingDown))
+        // A dropped reply sender means the worker never answered: either
+        // an orderly shutdown closed the lane, or the worker panicked
+        // mid-batch and the supervisor is restarting it.
+        receiver.recv().unwrap_or_else(|_| {
+            Err(if self.stopping.load(Ordering::SeqCst) {
+                ServeError::ShuttingDown
+            } else {
+                ServeError::Internal
+            })
+        })
+    }
+
+    /// Run one scrub pass inline over every protected variant (the same
+    /// sweep the background scrubber performs on its period).
+    pub fn scrub_now(&self) -> ScrubSummary {
+        crate::scrub::scrub_pass(&self.registry, &self.stats)
     }
 
     /// Engine-wide stats plus per-lane detail as a JSON document (the
@@ -255,11 +309,25 @@ impl Engine {
                         .model
                         .act_format_name()
                         .map_or("null".to_string(), |a| format!("\"{a}\""));
+                    let protection = match &v.protected {
+                        Some(store) => {
+                            let store = store.lock().expect("protected store poisoned");
+                            let ecc = store.ecc_stats();
+                            format!(
+                                "true,\"ecc_corrected\":{},\"ecc_uncorrectable\":{},\
+                                 \"store_rebuilds\":{}",
+                                ecc.corrected,
+                                ecc.detected_uncorrectable,
+                                store.rebuilds(),
+                            )
+                        }
+                        None => "false".to_string(),
+                    };
                     lanes.push_str(&format!(
                         "{{\"id\":\"{}\",\"family\":\"{}\",\"weight_format\":\"{}\",\
                          \"act_format\":{},\"in_dim\":{},\"out_dim\":{},\"params\":{},\
                          \"generation\":{},\"warmed_codebooks\":{},\"plans_built\":{},\
-                         \"plan_cache_hits\":{},\"queue_depth\":{}}}",
+                         \"plan_cache_hits\":{},\"protected\":{},\"queue_depth\":{}}}",
                         v.id,
                         v.model.family().label(),
                         v.model.format_name(),
@@ -271,6 +339,7 @@ impl Engine {
                         v.warmed_codebooks,
                         v.plans_built,
                         v.plan_cache_hits,
+                        protection,
                         depth,
                     ));
                 }
@@ -294,6 +363,9 @@ impl Engine {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.stopping.store(true, Ordering::SeqCst);
+        if let Some(mut scrubber) = self.scrubber.lock().expect("scrubber poisoned").take() {
+            scrubber.stop();
+        }
         for lane in self.lanes.values() {
             lane.queue.close();
         }
@@ -372,6 +444,18 @@ fn run_lane(
         }
         if rows.is_empty() {
             continue;
+        }
+        // Supervisor fault hook: panic after the batch is formed, so
+        // the in-flight reply senders drop on unwind exactly as a real
+        // evaluation fault would leave them.
+        if let Some(trigger) = cfg.panic_trigger {
+            if rows.iter().any(|j| {
+                j.input
+                    .first()
+                    .is_some_and(|v| v.to_bits() == trigger.to_bits())
+            }) {
+                panic!("injected worker fault in lane {id}");
+            }
         }
         stats.on_batch(rows.len());
         flat.clear();
@@ -535,12 +619,47 @@ mod tests {
     }
 
     #[test]
+    fn panicked_worker_fails_the_batch_closed_and_restarts() {
+        let trigger = 1234.5f32;
+        let engine = Engine::start(
+            registry(),
+            EngineConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                panic_trigger: Some(trigger),
+                ..EngineConfig::default()
+            },
+        );
+        let mut poison = vec![0.0f32; 12];
+        poison[0] = trigger;
+        // The poisoned batch fails with an explicit 500, never a hang.
+        assert_eq!(
+            engine.infer("resnet/fp32", poison),
+            Err(ServeError::Internal)
+        );
+        assert_eq!(ServeError::Internal.http_status(), 500);
+        // The supervisor restarted the worker: the same lane still serves.
+        let x = FrozenMlp::synth_inputs(7, 1, 12);
+        let direct = engine
+            .registry()
+            .get("resnet/fp32")
+            .unwrap()
+            .model
+            .evaluate(x.row(0));
+        let got = engine.infer("resnet/fp32", x.row(0).to_vec()).unwrap();
+        assert_eq!(got, direct);
+        assert!(engine.stats().snapshot().worker_restarts >= 1);
+    }
+
+    #[test]
     fn stats_json_lists_variants() {
         let engine = Engine::start(registry(), EngineConfig::default());
         let json = engine.stats_json();
         assert!(json.contains("\"id\":\"resnet/adaptivfloat8\""));
         assert!(json.contains("\"weight_format\":\"AdaptivFloat<8,3>\""));
         assert!(json.contains("\"queue_depth\":0"));
+        assert!(json.contains("\"protected\":false"));
+        assert!(json.contains("\"worker_restarts\":0"));
         // The quantized variant froze 2 weight + 2 activation plans; the
         // fp32 variant froze none.
         assert!(json.contains("\"plans_built\":4"));

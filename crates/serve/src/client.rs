@@ -1,9 +1,22 @@
 //! A persistent-connection client for the serving endpoint — used by
 //! the e2e tests and the `serve_load` harness, and small enough to
 //! embed anywhere.
+//!
+//! [`Client::infer_with_retry`] adds a bounded retry loop with
+//! exponential backoff and deterministic jitter for the transient
+//! failure modes of a self-healing server: load shed (`429`), shutdown
+//! or restart (`503`), and a connection dropped mid-exchange (e.g. by a
+//! supervisor-restarted worker). Inference is idempotent, so replaying
+//! the request is always safe; non-transient errors (`400`, `404`,
+//! `500`, `504`) surface immediately. Every attempt — including its
+//! backoff sleep — is budgeted against the caller's single end-to-end
+//! deadline.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use af_resilience::SplitMix64;
 
 use crate::http::{decode_f32_body, encode_f32_body, read_response, Response};
 
@@ -41,9 +54,69 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Bounded-retry policy for [`Client::infer_with_retry`]: exponential
+/// backoff with deterministic jitter, always capped by the caller's
+/// end-to-end deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep (before jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream — give concurrent
+    /// clients distinct seeds so their retries decorrelate.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry number `attempt` (1-based):
+    /// `min(max_backoff, base_backoff · 2^(attempt−1))`, scaled by a
+    /// jitter factor drawn uniformly from `[0.5, 1.0)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self.base_backoff.saturating_mul(
+            1u32.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        );
+        let capped = doubled.min(self.max_backoff);
+        let mut rng = SplitMix64::for_element(self.jitter_seed, 0x5E77_1E5B, u64::from(attempt));
+        capped.mul_f64(0.5 + 0.5 * rng.next_f64())
+    }
+}
+
+/// Whether an error is a transient condition worth replaying an
+/// idempotent request over: a shed (`429`), a shutting-down or
+/// restarting server (`503`), or a connection that died mid-exchange.
+fn is_transient(err: &ClientError) -> bool {
+    match err {
+        ClientError::Http { status, .. } => matches!(status, 429 | 503),
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        ),
+        ClientError::Protocol(_) => false,
+    }
+}
+
 /// One keep-alive connection to a serving endpoint.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
@@ -55,11 +128,33 @@ impl Client {
     ///
     /// [`ClientError::Io`] if the connection cannot be established.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let (reader, writer) = Self::open(addr)?;
+        Ok(Client {
+            addr,
+            reader,
+            writer,
+        })
+    }
+
+    fn open(addr: SocketAddr) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
-        Ok(Client { reader, writer })
+        Ok((reader, writer))
+    }
+
+    /// Drop the current connection and dial the endpoint again — the
+    /// recovery step when the server closed the socket mid-exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the new connection cannot be established.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = Self::open(self.addr)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     fn round_trip(
@@ -128,6 +223,50 @@ impl Client {
         self.infer_inner(variant, input, Some(deadline_ms))
     }
 
+    /// Infer with bounded retry: transient failures (`429`, `503`, or a
+    /// connection dropped mid-exchange) are replayed with exponential
+    /// backoff and jitter under `policy`, all within one end-to-end
+    /// `deadline`. Each attempt tells the server only the *remaining*
+    /// budget via `x-deadline-ms`. Returns the output and the number of
+    /// attempts it took.
+    ///
+    /// # Errors
+    ///
+    /// The last error once attempts or deadline budget run out;
+    /// non-transient errors (`400`, `404`, `500`, `504`) immediately.
+    pub fn infer_with_retry(
+        &mut self,
+        variant: &str,
+        input: &[f32],
+        deadline: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<(Vec<f32>, u32), ClientError> {
+        let start = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            let remaining_ms = u64::try_from(remaining.as_millis())
+                .unwrap_or(u64::MAX)
+                .max(1);
+            match self.infer_inner(variant, input, Some(remaining_ms)) {
+                Ok(out) => return Ok((out, attempt)),
+                Err(err) => {
+                    let budget = deadline.saturating_sub(start.elapsed());
+                    if !is_transient(&err) || attempt >= policy.max_attempts || budget.is_zero() {
+                        return Err(err);
+                    }
+                    // A dead transport needs a fresh connection before
+                    // the replay; HTTP-level sheds keep the socket.
+                    if matches!(err, ClientError::Io(_)) {
+                        self.reconnect()?;
+                    }
+                    std::thread::sleep(policy.backoff(attempt).min(budget));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     fn infer_inner(
         &mut self,
         variant: &str,
@@ -147,5 +286,60 @@ impl Client {
         }
         decode_f32_body(&resp.body)
             .ok_or_else(|| ClientError::Protocol("undecodable f32 response body".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_under_the_cap_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 7,
+        };
+        for attempt in 1..=5 {
+            let nominal = Duration::from_millis(10 * (1 << (attempt - 1))).min(policy.max_backoff);
+            let got = policy.backoff(attempt);
+            assert!(
+                got >= nominal.mul_f64(0.5) && got < nominal,
+                "attempt {attempt}: {got:?} outside [{:?}, {nominal:?})",
+                nominal.mul_f64(0.5),
+            );
+            // Deterministic: the same attempt always jitters the same way.
+            assert_eq!(got, policy.backoff(attempt));
+        }
+        // Distinct seeds decorrelate.
+        let other = RetryPolicy {
+            jitter_seed: 8,
+            ..policy
+        };
+        assert_ne!(policy.backoff(3), other.backoff(3));
+    }
+
+    #[test]
+    fn only_transient_failures_are_retried() {
+        let http = |status| ClientError::Http {
+            status,
+            message: String::new(),
+        };
+        assert!(is_transient(&http(429)));
+        assert!(is_transient(&http(503)));
+        for status in [400, 404, 500, 504] {
+            assert!(!is_transient(&http(status)), "{status} must not retry");
+        }
+        assert!(is_transient(&ClientError::Io(io::Error::from(
+            io::ErrorKind::ConnectionReset
+        ))));
+        assert!(is_transient(&ClientError::Io(io::Error::from(
+            io::ErrorKind::UnexpectedEof
+        ))));
+        assert!(!is_transient(&ClientError::Io(io::Error::from(
+            io::ErrorKind::PermissionDenied
+        ))));
+        assert!(!is_transient(&ClientError::Protocol("x".to_string())));
     }
 }

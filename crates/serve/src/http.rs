@@ -20,6 +20,41 @@ const MAX_LINE: usize = 8 * 1024;
 /// Most headers accepted per message.
 const MAX_HEADERS: usize = 64;
 
+/// A protocol violation with a specific HTTP answer — carried as the
+/// payload of an `ErrorKind::InvalidData` [`io::Error`] so transport
+/// plumbing stays `io::Result`, while the server can answer `413` for
+/// an oversized body instead of a blanket `400`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpViolation {
+    /// The HTTP status this violation maps onto (`400` or `413`).
+    pub status: u16,
+    /// Plain-text description, sent as the response body.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for HttpViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for HttpViolation {}
+
+fn violation(status: u16, message: &'static str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        HttpViolation { status, message },
+    )
+}
+
+/// The status carried by a protocol violation, if `err` is one (`None`
+/// for plain I/O errors — the server answers those with `400`).
+pub fn violation_status(err: &io::Error) -> Option<u16> {
+    err.get_ref()?
+        .downcast_ref::<HttpViolation>()
+        .map(|v| v.status)
+}
+
 /// A parsed request head plus its body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -71,10 +106,7 @@ fn read_line_capped(reader: &mut impl BufRead) -> io::Result<Option<String>> {
                 }
                 line.push(byte[0]);
                 if line.len() > MAX_LINE {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "header line too long",
-                    ));
+                    return Err(violation(400, "header line too long"));
                 }
             }
         }
@@ -84,12 +116,15 @@ fn read_line_capped(reader: &mut impl BufRead) -> io::Result<Option<String>> {
     }
     String::from_utf8(line)
         .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header line"))
+        .map_err(|_| violation(400, "non-UTF-8 header line"))
 }
 
-fn read_headers(reader: &mut impl BufRead) -> io::Result<(Vec<(String, String)>, usize)> {
+/// Parsed header list plus the `Content-Length`, if the peer sent one.
+type Headers = (Vec<(String, String)>, Option<usize>);
+
+fn read_headers(reader: &mut impl BufRead) -> io::Result<Headers> {
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length = None;
     loop {
         let line = read_line_capped(reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"))?;
@@ -97,23 +132,21 @@ fn read_headers(reader: &mut impl BufRead) -> io::Result<(Vec<(String, String)>,
             break;
         }
         if headers.len() >= MAX_HEADERS {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "too many headers",
-            ));
+            return Err(violation(400, "too many headers"));
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed header"))?;
+            .ok_or_else(|| violation(400, "malformed header"))?;
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = value
+            let length = value
                 .parse::<usize>()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
-            if content_length > MAX_BODY {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+                .map_err(|_| violation(400, "bad content-length"))?;
+            if length > MAX_BODY {
+                return Err(violation(413, "body too large"));
             }
+            content_length = Some(length);
         }
         headers.push((name, value));
     }
@@ -140,15 +173,17 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
     let mut parts = start.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
-        _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "malformed request line",
-            ))
-        }
+        _ => return Err(violation(400, "malformed request line")),
     };
     let (headers, content_length) = read_headers(reader)?;
-    let body = read_body(reader, content_length)?;
+    // A body-bearing request must declare its length; bodyless verbs
+    // default to an empty body.
+    let body_len = match content_length {
+        Some(len) => len,
+        None if method == "POST" => return Err(violation(400, "missing content-length")),
+        None => 0,
+    };
+    let body = read_body(reader, body_len)?;
     Ok(Some(Request {
         method,
         path,
@@ -170,9 +205,9 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        .ok_or_else(|| violation(400, "malformed status line"))?;
     let (headers, content_length) = read_headers(reader)?;
-    let body = read_body(reader, content_length)?;
+    let body = read_body(reader, content_length.unwrap_or(0))?;
     Ok(Response {
         status,
         headers,
@@ -186,6 +221,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -312,7 +348,7 @@ mod tests {
     }
 
     #[test]
-    fn oversized_content_length_is_refused() {
+    fn oversized_content_length_is_a_413_violation() {
         let wire = format!(
             "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
             MAX_BODY + 1
@@ -320,5 +356,46 @@ mod tests {
         let mut reader = BufReader::new(wire.as_bytes());
         let err = read_request(&mut reader).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(violation_status(&err), Some(413));
+        assert_eq!(err.to_string(), "body too large");
+    }
+
+    #[test]
+    fn garbage_content_length_is_a_400_violation() {
+        for bad in [
+            "notanumber",
+            "-5",
+            "12abc",
+            "99999999999999999999999999",
+            "",
+        ] {
+            let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {bad}\r\n\r\n");
+            let mut reader = BufReader::new(wire.as_bytes());
+            let err = read_request(&mut reader).unwrap_err();
+            assert_eq!(violation_status(&err), Some(400), "content-length {bad:?}");
+            assert_eq!(err.to_string(), "bad content-length");
+        }
+    }
+
+    #[test]
+    fn post_without_content_length_is_a_400_violation() {
+        let mut reader = BufReader::new(&b"POST /x HTTP/1.1\r\n\r\n"[..]);
+        let err = read_request(&mut reader).unwrap_err();
+        assert_eq!(violation_status(&err), Some(400));
+        assert_eq!(err.to_string(), "missing content-length");
+        // Bodyless verbs still default to an empty body.
+        let mut reader = BufReader::new(&b"GET /healthz HTTP/1.1\r\n\r\n"[..]);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn plain_io_errors_carry_no_violation_status() {
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers");
+        assert_eq!(violation_status(&eof), None);
+        let mut reader = BufReader::new(&b"POST /x HTTP/1.1\r\nno-colon-here\r\n\r\n"[..]);
+        let err = read_request(&mut reader).unwrap_err();
+        assert_eq!(violation_status(&err), Some(400));
+        assert_eq!(err.to_string(), "malformed header");
     }
 }

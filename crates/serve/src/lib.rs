@@ -23,7 +23,16 @@
 //! 4. **Protocol** ([`http`], [`server`], [`client`]) — a minimal
 //!    HTTP/1.1 handler (`GET /healthz`, `GET /stats`,
 //!    `POST /v1/infer/<variant>` with a length-delimited little-endian
-//!    `f32` body) plus a persistent-connection [`client::Client`].
+//!    `f32` body) plus a persistent-connection [`client::Client`] with
+//!    bounded deadline-aware retry ([`RetryPolicy`]).
+//! 5. **Protected storage & self-healing** ([`protect`], [`scrub`]) —
+//!    variants registered with [`VariantSpec::protected`] keep their
+//!    frozen weight codes behind SEC-DED parity
+//!    ([`af_resilience::ProtectedCodes`]); a background scrubber
+//!    repairs single-bit upsets in place, uncorrectable words trigger a
+//!    rebuild from the retained f32 master plus a hot swap, and a
+//!    supervisor restarts panicked lane workers (in-flight batch fails
+//!    with `500`, never hangs).
 //!
 //! The in-process path ([`Engine::infer`](batcher::Engine::infer)) and
 //! the TCP path share every layer below the protocol, so tests can
@@ -35,13 +44,17 @@
 pub mod batcher;
 pub mod client;
 pub mod http;
+pub mod protect;
 pub mod queue;
 pub mod registry;
+pub mod scrub;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{Engine, EngineConfig, ServeError};
-pub use client::{Client, ClientError};
-pub use registry::{ModelRegistry, ModelVariant, VariantSpec};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use protect::ProtectedWeights;
+pub use registry::{ModelRegistry, ModelVariant, ScrubOutcome, VariantSpec};
+pub use scrub::{ScrubSummary, Scrubber};
 pub use server::Server;
 pub use stats::{ServeStats, StatsSnapshot};

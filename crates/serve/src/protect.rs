@@ -1,0 +1,243 @@
+//! The protected weight store: each registered variant's quantized
+//! weight codes held behind SEC-DED parity
+//! ([`af_resilience::ProtectedCodes`]), with the clean f32 master copy
+//! retained for rebuilds.
+//!
+//! The serving snapshot is always **built from what the storage
+//! decodes to** (never from a separate quantization pass), so after a
+//! scrub repairs a single-bit upset the storage decodes to exactly the
+//! weights already being served — responses stay bit-identical. When a
+//! double-bit upset makes a word uncorrectable, the owner re-encodes
+//! the affected storage from the master copy
+//! ([`rebuild_from_master`](ProtectedWeights::rebuild_from_master)) and
+//! hot-swaps a fresh snapshot.
+
+use adaptivfloat::{DecodePolicy, FormatError, FormatKind};
+use af_models::FrozenMlp;
+use af_resilience::{inject_protected_bits, EccStats, FaultMap, ProtectedCodes, StorageCodec};
+use af_resilience::{ScrubReport, CODEWORD_BITS};
+
+/// One layer's protected storage: the fitted codec, the SEC-DED
+/// protected codes, and the retained f32 master copy.
+#[derive(Debug, Clone)]
+struct ProtectedLayer {
+    codec: StorageCodec,
+    codes: ProtectedCodes,
+    master: Vec<f32>,
+}
+
+/// SEC-DED protected storage for every weight tensor of one variant.
+#[derive(Debug, Clone)]
+pub struct ProtectedWeights {
+    format_label: String,
+    layers: Vec<ProtectedLayer>,
+    rebuilds: u64,
+}
+
+impl ProtectedWeights {
+    /// Encode `model`'s weight tensors through `kind` at word size `n`
+    /// into protected storage, retaining each tensor's f32 master copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the format cannot be
+    /// built at `n`.
+    pub fn build(
+        model: &FrozenMlp,
+        kind: FormatKind,
+        n: u32,
+    ) -> Result<ProtectedWeights, FormatError> {
+        let format_label = format!("{}+secded", kind.build(n)?.name());
+        let layers = (0..model.depth())
+            .map(|l| {
+                let (data, _shape) = model.weight_data(l);
+                let codec = StorageCodec::fit(kind, n, data)?;
+                Ok(ProtectedLayer {
+                    codes: ProtectedCodes::protect(codec.encode_slice(data)),
+                    codec,
+                    master: data.to_vec(),
+                })
+            })
+            .collect::<Result<Vec<_>, FormatError>>()?;
+        Ok(ProtectedWeights {
+            format_label,
+            layers,
+            rebuilds: 0,
+        })
+    }
+
+    /// The weight-format label served snapshots carry, e.g.
+    /// `"AdaptivFloat<8,3>+secded"`.
+    pub fn format_label(&self) -> &str {
+        &self.format_label
+    }
+
+    /// Number of protected weight tensors (model depth).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Raw 64-bit storage words behind layer `l` (each word carries
+    /// [`CODEWORD_BITS`]`− 64` parity bits alongside).
+    pub fn raw_words(&self, l: usize) -> usize {
+        self.layers[l].codes.raw_words()
+    }
+
+    /// Total protected storage bits of layer `l` — the element count a
+    /// width-1 [`FaultMap`] for [`inject_bits`](Self::inject_bits) must
+    /// be sampled over.
+    pub fn storage_bits(&self, l: usize) -> usize {
+        self.raw_words(l) * CODEWORD_BITS as usize
+    }
+
+    /// Times an uncorrectable error forced a re-encode from the master.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Cumulative ECC counters summed over every layer's store.
+    pub fn ecc_stats(&self) -> EccStats {
+        let mut total = EccStats::default();
+        for layer in &self.layers {
+            total.absorb(&layer.codes.stats());
+        }
+        // Every layer is swept in the same pass; report pass count once.
+        if let Some(layer) = self.layers.first() {
+            total.scrub_passes = layer.codes.stats().scrub_passes;
+        }
+        total
+    }
+
+    /// Decode every layer from (possibly corrupted) storage: single-bit
+    /// errors corrected in the read, uncorrectable words passed through
+    /// raw, values decoded under the hardened policy. Returns the f32
+    /// weights per layer and the aggregate report.
+    pub fn decoded_weights(&self) -> (Vec<Vec<f32>>, ScrubReport) {
+        let mut total = ScrubReport::default();
+        let weights = self
+            .layers
+            .iter()
+            .map(|layer| {
+                let (snapshot, report) = layer.codes.decode();
+                total.words_scanned += report.words_scanned;
+                total.corrected += report.corrected;
+                total.uncorrectable += report.uncorrectable;
+                let (vals, _) = layer.codec.decode_slice(&snapshot, DecodePolicy::Harden);
+                vals
+            })
+            .collect();
+        (weights, total)
+    }
+
+    /// Sweep every layer's storage once, repairing correctable errors
+    /// in place. Returns the aggregate report; a nonzero
+    /// `uncorrectable` means the owner must
+    /// [`rebuild_from_master`](Self::rebuild_from_master).
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut total = ScrubReport::default();
+        for layer in &mut self.layers {
+            let report = layer.codes.scrub();
+            total.words_scanned += report.words_scanned;
+            total.corrected += report.corrected;
+            total.uncorrectable += report.uncorrectable;
+        }
+        total
+    }
+
+    /// Re-encode every layer's storage from its retained f32 master
+    /// copy — the recovery path for uncorrectable errors. Cumulative
+    /// ECC counters carry over (the error history survives the
+    /// rebuild); the rebuild counter increments.
+    pub fn rebuild_from_master(&mut self) {
+        for layer in &mut self.layers {
+            // Carry the history: a rebuilt store has seen every error
+            // its predecessor counted.
+            let stats = layer.codes.stats();
+            layer.codes =
+                ProtectedCodes::protect(layer.codec.encode_slice(&layer.master)).with_stats(stats);
+        }
+        self.rebuilds += 1;
+    }
+
+    /// Corrupt layer `l`'s protected storage with a width-1 bit-level
+    /// fault map (see [`inject_protected_bits`]); the map must cover
+    /// [`storage_bits`](Self::storage_bits)`(l)` elements. Returns bits
+    /// struck.
+    pub fn inject_bits(&mut self, l: usize, map: &FaultMap) -> usize {
+        inject_protected_bits(&mut self.layers[l].codes, map)
+    }
+
+    /// Flip one raw storage bit of layer `l` (`bit` addresses the
+    /// word's 72-bit codeword: 0–63 data, 64–71 parity) — the surgical
+    /// fault the e2e tests use.
+    pub fn flip_bit(&mut self, l: usize, word: usize, bit: u32) {
+        self.layers[l].codes.flip_raw_bit(word, bit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use af_models::ModelFamily;
+
+    fn model() -> FrozenMlp {
+        FrozenMlp::synthesize(ModelFamily::ResNet, 11, &[10, 16, 4])
+    }
+
+    fn store() -> ProtectedWeights {
+        ProtectedWeights::build(&model(), FormatKind::AdaptivFloat, 8).unwrap()
+    }
+
+    #[test]
+    fn build_decodes_cleanly_and_deterministically() {
+        let (a, ra) = store().decoded_weights();
+        let (b, rb) = store().decoded_weights();
+        assert_eq!((ra.corrected, ra.uncorrectable), (0, 0));
+        assert_eq!(ra, rb);
+        let bits =
+            |w: &Vec<Vec<f32>>| -> Vec<u32> { w.iter().flatten().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(store().format_label(), "AdaptivFloat<8,3>+secded");
+    }
+
+    #[test]
+    fn single_bit_fault_decodes_identically_and_scrubs_away() {
+        let clean = store();
+        let (want, _) = clean.decoded_weights();
+        let mut hit = clean.clone();
+        hit.flip_bit(0, 1, 9);
+        // The corrected read already matches the clean weights…
+        let (got, report) = hit.decoded_weights();
+        assert_eq!(report.corrected, 1);
+        assert_eq!(report.uncorrectable, 0);
+        let bits =
+            |w: &Vec<Vec<f32>>| -> Vec<u32> { w.iter().flatten().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&got), bits(&want));
+        // …and after a scrub the storage itself is clean again.
+        assert_eq!(hit.scrub().corrected, 1);
+        let (after, post) = hit.decoded_weights();
+        assert_eq!((post.corrected, post.uncorrectable), (0, 0));
+        assert_eq!(bits(&after), bits(&want));
+        assert_eq!(hit.ecc_stats().corrected, 1);
+    }
+
+    #[test]
+    fn double_bit_fault_forces_rebuild() {
+        let mut hit = store();
+        let (want, _) = hit.decoded_weights();
+        hit.flip_bit(1, 0, 3);
+        hit.flip_bit(1, 0, 40);
+        let report = hit.scrub();
+        assert_eq!(report.uncorrectable, 1);
+        assert_eq!(hit.rebuilds(), 0);
+        hit.rebuild_from_master();
+        assert_eq!(hit.rebuilds(), 1);
+        let (after, post) = hit.decoded_weights();
+        assert_eq!((post.corrected, post.uncorrectable), (0, 0));
+        let bits =
+            |w: &Vec<Vec<f32>>| -> Vec<u32> { w.iter().flatten().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&after), bits(&want));
+        // Error history survives the rebuild.
+        assert_eq!(hit.ecc_stats().detected_uncorrectable, 1);
+    }
+}

@@ -10,10 +10,12 @@
 //! batches keep evaluating against the `Arc` they already cloned.
 
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use adaptivfloat::{FormatError, FormatKind};
 use af_models::{FrozenMlp, ModelFamily};
+
+use crate::protect::ProtectedWeights;
 
 /// Everything needed to build one servable model variant.
 #[derive(Debug, Clone)]
@@ -30,6 +32,12 @@ pub struct VariantSpec {
     pub weight_format: Option<(FormatKind, u32)>,
     /// Calibrated activation-quantization format, or `None`.
     pub act_format: Option<(FormatKind, u32)>,
+    /// Whether the variant's weight codes live behind SEC-DED protected
+    /// storage (requires `weight_format`). The served snapshot is then
+    /// built from what the storage decodes to, a scrubber can repair
+    /// single-bit upsets in place, and uncorrectable errors trigger a
+    /// rebuild from the retained f32 master plus a hot swap.
+    pub protected: bool,
 }
 
 impl VariantSpec {
@@ -42,6 +50,7 @@ impl VariantSpec {
             seed,
             weight_format: None,
             act_format: None,
+            protected: false,
         }
     }
 
@@ -62,7 +71,19 @@ impl VariantSpec {
             seed,
             weight_format: Some((kind, n)),
             act_format: Some((kind, n)),
+            protected: false,
         }
+    }
+
+    /// Put this variant's weight codes behind SEC-DED protected storage.
+    ///
+    /// # Panics
+    ///
+    /// [`ModelRegistry::register`] panics if the spec has no weight
+    /// format — there are no stored codes to protect under FP32.
+    pub fn protected(mut self) -> VariantSpec {
+        self.protected = true;
+        self
     }
 }
 
@@ -83,6 +104,28 @@ pub struct ModelVariant {
     /// earlier registration) instead of building it.
     pub plan_cache_hits: usize,
     /// Bumped on every hot swap of this id (0 for the first build).
+    pub generation: u64,
+    /// SEC-DED protected weight storage, when the spec asked for it.
+    /// Shared across hot swaps of the same id: the scrubber repairs
+    /// this store while served snapshots come and go around it.
+    pub protected: Option<Arc<Mutex<ProtectedWeights>>>,
+    /// The spec this variant was built from — retained so storage
+    /// refreshes and rebuilds can reconstruct the snapshot (biases,
+    /// activation calibration) without the original caller.
+    pub spec: VariantSpec,
+}
+
+/// What one scrub of a protected variant found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Single-bit errors repaired in place.
+    pub corrected: usize,
+    /// Detected-uncorrectable words (each forces the rebuild below).
+    pub uncorrectable: usize,
+    /// Whether storage was re-encoded from the f32 master and the
+    /// served snapshot hot-swapped.
+    pub rebuilt: bool,
+    /// The variant's generation after the scrub (bumped iff `rebuilt`).
     pub generation: u64,
 }
 
@@ -111,11 +154,30 @@ impl ModelRegistry {
     ///
     /// Returns [`FormatError::InvalidBits`] if a requested format
     /// cannot be built at its word size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec asks for protected storage without a weight
+    /// format (FP32 variants have no stored codes to protect).
     pub fn register(&self, spec: &VariantSpec) -> Result<Arc<ModelVariant>, FormatError> {
         let mut model = FrozenMlp::synthesize(spec.family, spec.seed, &spec.dims);
         let mut plans_built = 0usize;
         let mut plan_cache_hits = 0usize;
-        if let Some((kind, n)) = spec.weight_format {
+        let mut protected: Option<Arc<Mutex<ProtectedWeights>>> = None;
+        if spec.protected {
+            let (kind, n) = spec
+                .weight_format
+                .expect("protected storage requires a weight format");
+            // Encode into protected storage first, then build the served
+            // weights from what the storage decodes to — the storage is
+            // authoritative, so a scrub-repaired store decodes to
+            // exactly the weights already being served.
+            let store = ProtectedWeights::build(&model, kind, n)?;
+            let (weights, _) = store.decoded_weights();
+            model = model.with_weight_data(weights, store.format_label());
+            plans_built += model.depth();
+            protected = Some(Arc::new(Mutex::new(store)));
+        } else if let Some((kind, n)) = spec.weight_format {
             model = model.quantize_weights(kind, n)?;
             plans_built += model.depth();
         }
@@ -141,9 +203,83 @@ impl ModelRegistry {
             plans_built,
             plan_cache_hits,
             generation,
+            protected,
+            spec: spec.clone(),
         });
         map.insert(spec.id.clone(), Arc::clone(&variant));
         Ok(variant)
+    }
+
+    /// Rebuild `id`'s served snapshot from its (possibly scrubbed)
+    /// protected storage and hot-swap it in, bumping the generation.
+    /// Returns the new snapshot, or `None` if `id` is unknown or
+    /// unprotected. In-flight batches keep the `Arc` they hold.
+    pub fn refresh_from_storage(&self, id: &str) -> Option<Arc<ModelVariant>> {
+        let current = self.get(id)?;
+        let store = Arc::clone(current.protected.as_ref()?);
+        let spec = current.spec.clone();
+        // Decode under the store lock, build the snapshot outside it.
+        let (weights, label) = {
+            let guard = store.lock().expect("protected store poisoned");
+            let (weights, _) = guard.decoded_weights();
+            (weights, guard.format_label().to_string())
+        };
+        let mut model = FrozenMlp::synthesize(spec.family, spec.seed, &spec.dims)
+            .with_weight_data(weights, &label);
+        if let Some((kind, n)) = spec.act_format {
+            let calib = FrozenMlp::synth_inputs(spec.seed ^ 0xCA11_B8A7, CALIB_ROWS, spec.dims[0]);
+            // The same geometry built at registration time; it cannot
+            // start failing now.
+            model = model.with_act_quant(kind, n, &calib).ok()?;
+        }
+        let warmed_codebooks = model.prewarm_codebooks();
+        let mut map = self.inner.write().expect("registry poisoned");
+        let generation = map.get(id).map_or(0, |v| v.generation + 1);
+        let variant = Arc::new(ModelVariant {
+            id: id.to_string(),
+            model,
+            warmed_codebooks,
+            plans_built: current.plans_built,
+            plan_cache_hits: current.plan_cache_hits,
+            generation,
+            protected: Some(store),
+            spec,
+        });
+        map.insert(id.to_string(), Arc::clone(&variant));
+        Some(variant)
+    }
+
+    /// Scrub `id`'s protected storage once: repair every correctable
+    /// word in place; on any uncorrectable word, re-encode the storage
+    /// from the f32 master and hot-swap a fresh snapshot (generation
+    /// bump). Returns `None` for unknown or unprotected ids.
+    pub fn scrub_variant(&self, id: &str) -> Option<ScrubOutcome> {
+        let current = self.get(id)?;
+        let store = Arc::clone(current.protected.as_ref()?);
+        let report = {
+            let mut guard = store.lock().expect("protected store poisoned");
+            let report = guard.scrub();
+            if report.uncorrectable > 0 {
+                guard.rebuild_from_master();
+            }
+            report
+        };
+        let rebuilt = report.uncorrectable > 0;
+        let generation = if rebuilt {
+            // Correctable errors were repaired to bit-identical storage,
+            // so the served snapshot is already right; only a rebuild
+            // publishes a new one.
+            self.refresh_from_storage(id)
+                .map_or(current.generation, |v| v.generation)
+        } else {
+            current.generation
+        };
+        Some(ScrubOutcome {
+            corrected: report.corrected,
+            uncorrectable: report.uncorrectable,
+            rebuilt,
+            generation,
+        })
     }
 
     /// Fetch the current snapshot for `id` (read lock + `Arc` clone).
@@ -244,6 +380,88 @@ mod tests {
         // New lookups see the swapped snapshot.
         let current = reg.get("m").unwrap();
         assert!(Arc::ptr_eq(&current, &new));
+    }
+
+    fn output_bits(v: &ModelVariant, x: &[f32]) -> Vec<u32> {
+        v.model.evaluate(x).iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn protected_registration_serves_what_the_storage_decodes_to() {
+        let reg = ModelRegistry::new();
+        let v = reg.register(&spec("p").protected()).unwrap();
+        assert_eq!(v.model.format_name(), "Uniform<8>+secded");
+        assert!(v.protected.is_some());
+        // A clean store scrubs clean and publishes nothing new.
+        let outcome = reg.scrub_variant("p").unwrap();
+        assert_eq!(outcome.corrected, 0);
+        assert!(!outcome.rebuilt);
+        assert_eq!(outcome.generation, 0);
+        // Unprotected and unknown ids answer None.
+        reg.register(&spec("u")).unwrap();
+        assert!(reg.scrub_variant("u").is_none());
+        assert!(reg.scrub_variant("ghost").is_none());
+        assert!(reg.refresh_from_storage("u").is_none());
+    }
+
+    #[test]
+    fn scrub_repairs_single_bit_upset_with_bit_identical_serving() {
+        let reg = ModelRegistry::new();
+        let v = reg.register(&spec("p").protected()).unwrap();
+        let x = FrozenMlp::synth_inputs(4, 1, 16);
+        let want = output_bits(&v, x.row(0));
+        v.protected
+            .as_ref()
+            .unwrap()
+            .lock()
+            .unwrap()
+            .flip_bit(0, 1, 17);
+        let outcome = reg.scrub_variant("p").unwrap();
+        assert_eq!(outcome.corrected, 1);
+        assert_eq!(outcome.uncorrectable, 0);
+        assert!(!outcome.rebuilt, "single-bit upsets repair in place");
+        assert_eq!(outcome.generation, 0, "no republish needed");
+        // Storage is bit-identical again: a snapshot rebuilt from it
+        // answers exactly what the original served.
+        let refreshed = reg.refresh_from_storage("p").unwrap();
+        assert_eq!(output_bits(&refreshed, x.row(0)), want);
+    }
+
+    #[test]
+    fn uncorrectable_upset_rebuilds_from_master_and_bumps_generation() {
+        let reg = ModelRegistry::new();
+        let v = reg.register(&spec("p").protected()).unwrap();
+        let x = FrozenMlp::synth_inputs(4, 1, 16);
+        let want = output_bits(&v, x.row(0));
+        {
+            let mut store = v.protected.as_ref().unwrap().lock().unwrap();
+            store.flip_bit(0, 2, 6);
+            store.flip_bit(0, 2, 51);
+        }
+        let outcome = reg.scrub_variant("p").unwrap();
+        assert_eq!(outcome.uncorrectable, 1);
+        assert!(outcome.rebuilt);
+        assert_eq!(outcome.generation, 1, "rebuild hot-swaps a new snapshot");
+        let current = reg.get("p").unwrap();
+        assert_eq!(current.generation, 1);
+        assert!(!Arc::ptr_eq(&current, &v));
+        assert_eq!(output_bits(&current, x.row(0)), want);
+        // The store Arc is shared across the swap; history survived.
+        let stats = current
+            .protected
+            .as_ref()
+            .unwrap()
+            .lock()
+            .unwrap()
+            .ecc_stats();
+        assert_eq!(stats.detected_uncorrectable, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "protected storage requires a weight format")]
+    fn protected_fp32_spec_is_rejected() {
+        let reg = ModelRegistry::new();
+        let _ = reg.register(&VariantSpec::fp32("f", ModelFamily::ResNet, 1, &[8, 4]).protected());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!   vector ([`crate::http::encode_f32_body`]); an optional
 //!   `x-deadline-ms` header overrides the engine's default deadline.
 //!   Errors map onto [`crate::ServeError::http_status`]: 404 unknown variant,
-//!   400 bad width or framing, 429 shed, 504 deadline, 503 shutdown.
+//!   400 bad width or framing, 429 shed, 504 deadline, 503 shutdown,
+//!   500 worker fault. Protocol violations answer before the engine is
+//!   involved: missing or garbage `Content-Length` is a 400, one
+//!   exceeding [`crate::http::MAX_BODY`] is a 413.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -20,7 +23,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::batcher::Engine;
-use crate::http::{decode_f32_body, encode_f32_body, read_request, write_response, Request};
+use crate::http::{
+    decode_f32_body, encode_f32_body, read_request, violation_status, write_response, Request,
+};
 
 /// How long a connection handler blocks in `read` before re-checking
 /// for shutdown.
@@ -131,7 +136,10 @@ fn handle_connection(stream: TcpStream, stop: &AtomicBool, engine: &Engine) -> i
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                write_response(&mut writer, 400, "text/plain", e.to_string().as_bytes())?;
+                // Protocol violations carry their own status (413 for
+                // an oversized body); anything else malformed is a 400.
+                let status = violation_status(&e).unwrap_or(400);
+                write_response(&mut writer, status, "text/plain", e.to_string().as_bytes())?;
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -235,6 +243,41 @@ mod tests {
             err,
             crate::client::ClientError::Http { status: 400, .. }
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_violations_answer_with_specific_statuses() {
+        use crate::http::{read_response, MAX_BODY};
+        use std::io::Write;
+
+        let server = server();
+        let exchange = |raw: String| -> u16 {
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut writer = BufWriter::new(stream.try_clone().unwrap());
+            let mut reader = BufReader::new(stream);
+            writer.write_all(raw.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            read_response(&mut reader).unwrap().status
+        };
+        assert_eq!(
+            exchange("POST /v1/infer/m HTTP/1.1\r\ncontent-length: junk\r\n\r\n".to_string()),
+            400,
+            "garbage content-length"
+        );
+        assert_eq!(
+            exchange(format!(
+                "POST /v1/infer/m HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )),
+            413,
+            "overlong content-length"
+        );
+        assert_eq!(
+            exchange("POST /v1/infer/m HTTP/1.1\r\n\r\n".to_string()),
+            400,
+            "missing content-length"
+        );
         server.shutdown();
     }
 

@@ -16,6 +16,10 @@ pub struct ServeStats {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
+    worker_restarts: AtomicU64,
+    scrub_passes: AtomicU64,
+    rebuilds: AtomicU64,
+    last_scrub_us: AtomicU64,
 }
 
 impl ServeStats {
@@ -52,6 +56,23 @@ impl ServeStats {
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
     }
 
+    /// A panicked lane worker was caught and restarted.
+    pub fn on_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A scrub pass over every protected variant completed, taking
+    /// `elapsed_us` microseconds.
+    pub fn on_scrub_pass(&self, elapsed_us: u64) {
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        self.last_scrub_us.store(elapsed_us, Ordering::Relaxed);
+    }
+
+    /// An uncorrectable storage error forced a rebuild + hot swap.
+    pub fn on_rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -63,6 +84,10 @@ impl ServeStats {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            scrub_passes: self.scrub_passes.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            last_scrub_us: self.last_scrub_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,6 +111,14 @@ pub struct StatsSnapshot {
     pub batched_requests: u64,
     /// Largest batch observed.
     pub max_batch: u64,
+    /// Panicked lane workers caught and restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// Completed scrub passes over the protected variants.
+    pub scrub_passes: u64,
+    /// Uncorrectable-error rebuilds (each hot-swapped a snapshot).
+    pub rebuilds: u64,
+    /// Duration of the most recent scrub pass, in microseconds.
+    pub last_scrub_us: u64,
 }
 
 impl StatsSnapshot {
@@ -104,7 +137,8 @@ impl StatsSnapshot {
         format!(
             "\"received\":{},\"admitted\":{},\"shed\":{},\"expired\":{},\
              \"completed\":{},\"batches\":{},\"batched_requests\":{},\
-             \"max_batch\":{},\"mean_batch\":{:.3}",
+             \"max_batch\":{},\"mean_batch\":{:.3},\"worker_restarts\":{},\
+             \"scrub_passes\":{},\"rebuilds\":{},\"last_scrub_us\":{}",
             self.received,
             self.admitted,
             self.shed,
@@ -113,7 +147,11 @@ impl StatsSnapshot {
             self.batches,
             self.batched_requests,
             self.max_batch,
-            self.mean_batch()
+            self.mean_batch(),
+            self.worker_restarts,
+            self.scrub_passes,
+            self.rebuilds,
+            self.last_scrub_us,
         )
     }
 }
@@ -133,6 +171,10 @@ mod tests {
         s.on_batch(2);
         s.on_batch(4);
         s.on_completed();
+        s.on_worker_restart();
+        s.on_scrub_pass(850);
+        s.on_scrub_pass(1234);
+        s.on_rebuild();
         let snap = s.snapshot();
         assert_eq!(snap.received, 3);
         assert_eq!(snap.shed, 1);
@@ -140,8 +182,16 @@ mod tests {
         assert_eq!(snap.batched_requests, 6);
         assert_eq!(snap.max_batch, 4);
         assert_eq!(snap.mean_batch(), 3.0);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.scrub_passes, 2);
+        assert_eq!(snap.rebuilds, 1);
+        assert_eq!(snap.last_scrub_us, 1234, "last scrub wins");
         let json = snap.json_fields();
         assert!(json.contains("\"shed\":1"));
         assert!(json.contains("\"mean_batch\":3.000"));
+        assert!(json.contains("\"worker_restarts\":1"));
+        assert!(json.contains("\"scrub_passes\":2"));
+        assert!(json.contains("\"rebuilds\":1"));
+        assert!(json.contains("\"last_scrub_us\":1234"));
     }
 }

@@ -79,9 +79,11 @@ PY
 
 echo
 echo "== resilience snapshot (fault_sweep --quick) =="
+# Includes the SEC-DED protected-vs-unprotected sweep ("protected"
+# section: end-task metric plus corrected/uncorrectable vs bit BER).
 cargo run --release -q -p af-bench --bin fault_sweep -- \
     --quick --out BENCH_resilience.json >/dev/null
-echo "wrote BENCH_resilience.json"
+echo "wrote BENCH_resilience.json (storage, end_task, protected sections)"
 
 echo
 echo "== serving snapshot (serve_load) =="

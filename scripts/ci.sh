@@ -40,6 +40,9 @@ AF_NUM_THREADS=1 cargo test -q -p adaptivfloat --test plan_matches_backends
 AF_NUM_THREADS=1 cargo test -q -p af-models --test frozen_batch
 AF_NUM_THREADS=1 cargo test -q -p af-models --test alloc_regression
 AF_NUM_THREADS=1 cargo test -q --test serve_e2e
+# The supervisor/scrubber/self-healing paths must also hold when the
+# runtime is forced serial (panic propagation takes the serial path).
+AF_NUM_THREADS=1 cargo test -q --test serve_selfheal_e2e
 
 echo "== fault_sweep smoke (--quick) =="
 TMP_DIR="$(mktemp -d)"
@@ -56,7 +59,23 @@ assert doc["storage"], "no storage cells"
 assert doc["end_task"], "no end-task cells"
 zero = [c for c in doc["storage"] if c["rate"] == 0]
 assert zero and all(c["faults_injected"] == 0 for c in zero)
-print(f"ok: {len(doc['storage'])} storage cells, {len(doc['end_task'])} end-task cells")
+# The SEC-DED protected sweep must show the ECC actually working: at a
+# nonzero BER the protected arms correct words, the unprotected arms
+# report no ECC activity, and any uncorrectable words are counted
+# (never silently dropped).
+prot = doc["protected"]
+assert prot, "no protected cells"
+hot = [c for c in prot if c["protected"] and c["ber"] >= 1e-3]
+assert hot and all(c["corrected"] > 0 for c in hot), "SEC-DED never corrected"
+bare = [c for c in prot if not c["protected"]]
+assert bare and all(c["corrected"] == 0 and c["uncorrectable"] == 0 for c in bare)
+assert all(c["uncorrectable"] >= 0 for c in prot)
+print(
+    f"ok: {len(doc['storage'])} storage cells, {len(doc['end_task'])} end-task cells, "
+    f"{len(prot)} protected cells "
+    f"({sum(c['corrected'] for c in prot)} corrected, "
+    f"{sum(c['uncorrectable'] for c in prot)} uncorrectable)"
+)
 PY
 
 echo "== serve_load smoke (--quick) =="

@@ -109,6 +109,7 @@ fn saturated_queue_sheds_with_429_and_correct_responses_elsewhere() {
         queue_cap: 2,
         service_delay: Duration::from_millis(150),
         default_deadline: Duration::from_secs(10),
+        ..EngineConfig::default()
     });
     let addr = server.addr();
     let handles: Vec<_> = (0..10u64)
