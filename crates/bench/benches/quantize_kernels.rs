@@ -1,9 +1,11 @@
 //! Kernel micro-benches: quantization throughput of every format, the
-//! bit-packed codec, and the bit-accurate MAC datapaths.
+//! bit-packed codec, the bit-accurate MAC datapaths, the SIMD dispatch
+//! paths against their scalar twins, and the fused packed-weight GEMM
+//! against dequantize-then-dense.
 
-use adaptivfloat::{AdaptivFloat, FormatKind, NumberFormat, Uniform};
+use adaptivfloat::{AdaptivFloat, FormatKind, NumberFormat, PackedCodes, QuantStats, Uniform};
 use af_hw::arith::{hfint_dot, int_dot_scaled};
-use af_tensor::Tensor;
+use af_tensor::{PackedDecode, PackedGemm, PackedGemmScratch, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn data(n: usize) -> Vec<f32> {
@@ -86,6 +88,107 @@ fn codec(c: &mut Criterion) {
     });
 }
 
+/// The tentpole rows: each vector-dispatched path against the scalar
+/// code it replaced, on the same frozen plan (same backend, same
+/// parameters — the only difference is the instruction set). The
+/// `BENCH_kernels.json` snapshot derives `simd_speedup_*` from these.
+fn simd_vs_scalar(c: &mut Criterion) {
+    const N: usize = 65_536;
+    let w = data(N);
+    let mut g = c.benchmark_group("simd_vs_scalar");
+    g.throughput(Throughput::Elements(N as u64));
+    // AdaptivFloat<8,3>: kernel backend (branch-free vector quantize).
+    let af = FormatKind::AdaptivFloat.build(8).expect("valid");
+    let plan = af.plan(&QuantStats::from_slice(&w));
+    let mut out = vec![0.0f32; N];
+    g.bench_function(BenchmarkId::new("quantize_adaptivfloat8", "simd"), |b| {
+        b.iter(|| plan.execute_into(std::hint::black_box(&w), &mut out))
+    });
+    g.bench_function(BenchmarkId::new("quantize_adaptivfloat8", "scalar"), |b| {
+        b.iter(|| plan.execute_into_scalar(std::hint::black_box(&w), &mut out))
+    });
+    // Posit<8>: LUT backend (vector binary search + gather).
+    let posit = FormatKind::Posit.build(8).expect("valid");
+    let plan = posit.plan(&QuantStats::from_slice(&w));
+    g.bench_function(BenchmarkId::new("quantize_posit8_lut", "simd"), |b| {
+        b.iter(|| plan.execute_into(std::hint::black_box(&w), &mut out))
+    });
+    g.bench_function(BenchmarkId::new("quantize_posit8_lut", "scalar"), |b| {
+        b.iter(|| plan.execute_into_scalar(std::hint::black_box(&w), &mut out))
+    });
+    // Max-abs scan (the stats pass in front of every plan).
+    g.bench_function(BenchmarkId::new("scan_abs", "simd"), |b| {
+        b.iter(|| std::hint::black_box(adaptivfloat::simd::scan_abs(std::hint::black_box(&w))))
+    });
+    g.bench_function(BenchmarkId::new("scan_abs", "scalar"), |b| {
+        b.iter(|| {
+            std::hint::black_box(adaptivfloat::simd::scan_abs_scalar(std::hint::black_box(
+                &w,
+            )))
+        })
+    });
+    // Bulk 8-bit code packing (the storage encode path).
+    let codes: Vec<u32> = (0..N as u32).map(|i| i & 0xff).collect();
+    g.bench_function(BenchmarkId::new("pack_u8", "simd"), |b| {
+        b.iter(|| {
+            let mut p = PackedCodes::new(8);
+            p.extend_from_u32(std::hint::black_box(&codes));
+            std::hint::black_box(p.len())
+        })
+    });
+    g.bench_function(BenchmarkId::new("pack_u8", "scalar"), |b| {
+        b.iter(|| {
+            let mut p = PackedCodes::new(8);
+            for &c in std::hint::black_box(&codes) {
+                p.push(c as u64);
+            }
+            std::hint::black_box(p.len())
+        })
+    });
+    g.finish();
+}
+
+/// Fused quantized-domain GEMM vs dequantize-then-dense at serving-like
+/// shapes. Elements = MACs. The fused path reads `width/8` of the
+/// weight bytes and decodes inside the kernel; same bits out.
+fn packed_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packed_gemm");
+    let af = AdaptivFloat::new(8, 3).expect("valid");
+    for (m, k, n) in [(8usize, 192usize, 192usize), (8, 512, 1024)] {
+        let w = data(k * n);
+        let params = af.params_for(&w);
+        let codes: Vec<u32> = w.iter().map(|&v| af.encode_with(&params, v)).collect();
+        let table: Vec<f32> = (0..256u32).map(|c| af.decode_with(&params, c)).collect();
+        let decode = PackedDecode::AdaptivFloat {
+            m: 4,
+            exp_bias: params.exp_bias,
+        };
+        let pg = PackedGemm::build(k, n, 8, &codes, table, decode);
+        let dense = Tensor::from_vec(pg.dequantize(), &[k, n]);
+        let a = data(m * k);
+        let mut out = vec![0.0f32; m * n];
+        let mut scratch = PackedGemmScratch::default();
+        g.throughput(Throughput::Elements((m * k * n) as u64));
+        let label = format!("{m}x{k}x{n}");
+        g.bench_function(BenchmarkId::new("fused", &label), |b| {
+            b.iter(|| pg.matmul_into(std::hint::black_box(&a), m, &mut out, &mut scratch))
+        });
+        g.bench_function(BenchmarkId::new("dequantize_dense", &label), |b| {
+            b.iter(|| {
+                // What the dense serving path pays if weights arrive
+                // packed: materialize f32 weights, then matmul.
+                let dw = pg.dequantize();
+                let t = Tensor::from_vec(dw, &[k, n]);
+                Tensor::matmul_slice_into(std::hint::black_box(&a), m, k, &t, &mut out)
+            })
+        });
+        g.bench_function(BenchmarkId::new("dense", &label), |b| {
+            b.iter(|| Tensor::matmul_slice_into(std::hint::black_box(&a), m, k, &dense, &mut out))
+        });
+    }
+    g.finish();
+}
+
 fn mac_datapaths(c: &mut Criterion) {
     let w = data(256);
     let a = data(256);
@@ -108,6 +211,7 @@ fn mac_datapaths(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = quantize_formats, adaptivfloat_1m, matmul_scaling, codec, mac_datapaths
+    targets = quantize_formats, adaptivfloat_1m, matmul_scaling, codec, mac_datapaths,
+        simd_vs_scalar, packed_gemm
 }
 criterion_main!(benches);

@@ -1,17 +1,26 @@
 //! Run the serving load test and write `BENCH_serving.json`.
 //!
-//! Usage: `cargo run --release -p af-bench --bin serve_load [--quick] [--out PATH]`
+//! Usage: `cargo run --release -p af-bench --bin serve_load
+//! [--quick] [--packed] [--out PATH]`
+//!
+//! `--packed` restricts the run to dequantize-vs-fused twins of the same
+//! model (the packed-weights comparison mode).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let packed = args.iter().any(|a| a == "--packed");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
-    let serving = af_bench::serving::run(quick);
+    let serving = if packed {
+        af_bench::serving::run_packed(quick)
+    } else {
+        af_bench::serving::run(quick)
+    };
     println!("{}", serving.rendered);
     std::fs::write(&out, &serving.json).expect("write BENCH_serving.json");
     println!("\nwrote {out} ({} cells)", serving.cells.len());

@@ -1,0 +1,9 @@
+//! Print the process's SIMD capability report as one JSON object —
+//! `scripts/bench_snapshot.sh` stamps this into every `BENCH_*.json` so
+//! a snapshot records which instruction set produced its numbers.
+//!
+//! Usage: `cargo run --release -p af-bench --bin simd_report`
+
+fn main() {
+    println!("{}", adaptivfloat::simd::report().to_json());
+}

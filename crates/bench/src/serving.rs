@@ -25,6 +25,11 @@ use crate::render::TextTable;
 /// Layer widths of the served model (Transformer-family ensemble).
 pub const DIMS: [usize; 4] = [96, 192, 192, 48];
 
+/// Layer widths of the full run's wide model — large enough that weight
+/// streaming (not batching overhead) dominates, where the fused packed
+/// GEMM's reduced memory traffic shows.
+pub const WIDE_DIMS: [usize; 4] = [256, 512, 512, 128];
+
 /// Synthesis seed for every served variant (same weights pre-PTQ).
 pub const MODEL_SEED: u64 = 0x5E12_F00D;
 
@@ -59,6 +64,11 @@ pub struct ServeCell {
     pub p99_us: u64,
     /// Mean live requests per evaluate pass (batching effectiveness).
     pub mean_batch: f64,
+    /// Whether the variant serves through the fused packed-weight GEMM.
+    pub fused: bool,
+    /// Weight bytes the batch path streams per request (packed codes
+    /// for fused layers, f32 otherwise).
+    pub weight_bytes: usize,
 }
 
 /// Load-test output: cells, the JSON document, and a rendered table.
@@ -97,6 +107,19 @@ fn variant_specs(quick: bool) -> Vec<VariantSpec> {
             &DIMS,
         ),
     ];
+    // The fused twin of adaptivfloat8: same weights, packed codes
+    // decoded inside the GEMM — the fused-vs-dequantize comparison pair.
+    specs.push(
+        VariantSpec::quantized(
+            "transformer/adaptivfloat8-fused",
+            ModelFamily::Transformer,
+            FormatKind::AdaptivFloat,
+            8,
+            MODEL_SEED,
+            &DIMS,
+        )
+        .fused(),
+    );
     if !quick {
         specs.push(VariantSpec::quantized(
             "transformer/uniform8",
@@ -106,6 +129,17 @@ fn variant_specs(quick: bool) -> Vec<VariantSpec> {
             MODEL_SEED,
             &DIMS,
         ));
+        specs.push(
+            VariantSpec::quantized(
+                "transformer/uniform8-fused",
+                ModelFamily::Transformer,
+                FormatKind::Uniform,
+                8,
+                MODEL_SEED,
+                &DIMS,
+            )
+            .fused(),
+        );
         specs.push(VariantSpec::quantized(
             "transformer/posit8",
             ModelFamily::Transformer,
@@ -114,6 +148,26 @@ fn variant_specs(quick: bool) -> Vec<VariantSpec> {
             MODEL_SEED,
             &DIMS,
         ));
+        // A wide pair where weight streaming dominates the request cost.
+        specs.push(VariantSpec::quantized(
+            "transformer/adaptivfloat8-wide",
+            ModelFamily::Transformer,
+            FormatKind::AdaptivFloat,
+            8,
+            MODEL_SEED,
+            &WIDE_DIMS,
+        ));
+        specs.push(
+            VariantSpec::quantized(
+                "transformer/adaptivfloat8-wide-fused",
+                ModelFamily::Transformer,
+                FormatKind::AdaptivFloat,
+                8,
+                MODEL_SEED,
+                &WIDE_DIMS,
+            )
+            .fused(),
+        );
     }
     specs
 }
@@ -193,9 +247,25 @@ fn drive(
 /// `127.0.0.1:0`, or a served response is not bit-identical to direct
 /// evaluation.
 pub fn run(quick: bool) -> Serving {
+    run_with_specs(quick, variant_specs(quick))
+}
+
+/// The packed-weights comparison: only dequantize-vs-fused twins of the
+/// same model, side by side, so the fused GEMM's effect is read off two
+/// adjacent rows with everything else equal (`serve_load --packed`).
+pub fn run_packed(quick: bool) -> Serving {
+    let specs: Vec<VariantSpec> = variant_specs(false)
+        .into_iter()
+        .filter(|s| {
+            s.id.starts_with("transformer/adaptivfloat8") && !(quick && s.id.contains("wide"))
+        })
+        .collect();
+    run_with_specs(quick, specs)
+}
+
+fn run_with_specs(quick: bool, specs: Vec<VariantSpec>) -> Serving {
     let (connections, per_conn) = if quick { (4, 40) } else { (8, 200) };
     let registry = Arc::new(ModelRegistry::new());
-    let specs = variant_specs(quick);
     for spec in &specs {
         registry.register(spec).expect("register variant");
     }
@@ -244,6 +314,8 @@ pub fn run(quick: bool) -> Serving {
                 p95_us: percentile(&latencies, 0.95),
                 p99_us: percentile(&latencies, 0.99),
                 mean_batch: snap.mean_batch(),
+                fused: reference.model.fused_layers() > 0,
+                weight_bytes: reference.model.weight_bytes(),
             });
             server.shutdown();
             engine.shutdown();
@@ -275,7 +347,7 @@ fn render_json(quick: bool, connections: usize, per_conn: usize, cells: &[ServeC
             "    {{\"variant\": \"{}\", \"weight_format\": \"{}\", \"act_format\": \"{}\", \
              \"max_batch\": {}, \"max_wait_us\": {}, \"requests\": {}, \"completed\": {}, \
              \"shed\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \
-             \"p99_us\": {}, \"mean_batch\": {:.3}}}{}\n",
+             \"p99_us\": {}, \"mean_batch\": {:.3}, \"fused\": {}, \"weight_bytes\": {}}}{}\n",
             c.variant,
             c.weight_format,
             c.act_format,
@@ -289,6 +361,8 @@ fn render_json(quick: bool, connections: usize, per_conn: usize, cells: &[ServeC
             c.p95_us,
             c.p99_us,
             c.mean_batch,
+            c.fused,
+            c.weight_bytes,
             if i + 1 < cells.len() { "," } else { "" },
         ));
     }
@@ -307,6 +381,8 @@ fn render_table(cells: &[ServeCell]) -> String {
         "p99_us",
         "mean_batch",
         "shed",
+        "fused",
+        "w_kib",
     ]);
     for c in cells {
         t.row([
@@ -319,6 +395,8 @@ fn render_table(cells: &[ServeCell]) -> String {
             c.p99_us.to_string(),
             format!("{:.2}", c.mean_batch),
             c.shed.to_string(),
+            if c.fused { "yes" } else { "no" }.to_string(),
+            format!("{:.0}", c.weight_bytes as f64 / 1024.0),
         ]);
     }
     t.render()
@@ -339,9 +417,14 @@ mod tests {
 
     #[test]
     fn quick_and_full_shapes() {
-        assert_eq!(variant_specs(true).len(), 2);
-        assert_eq!(variant_specs(false).len(), 4);
+        assert_eq!(variant_specs(true).len(), 3);
+        assert_eq!(variant_specs(false).len(), 8);
         assert_eq!(batch_configs(true).len(), 2);
         assert_eq!(batch_configs(false).len(), 3);
+        // Quick mode keeps the fused-vs-dequantize comparison pair.
+        assert!(variant_specs(true).iter().any(|s| s.fused));
+        assert!(variant_specs(true)
+            .iter()
+            .any(|s| !s.fused && s.weight_format == Some((FormatKind::AdaptivFloat, 8))));
     }
 }

@@ -61,16 +61,12 @@ fn threshold_bits(x: f64) -> u32 {
 ///
 /// Because non-negative f32 bit patterns order identically to their
 /// values, the max-abs reduction runs entirely on integers: mask the
-/// sign, skip NaN/∞, take the integer maximum.
+/// sign, skip NaN/∞, take the integer maximum. This is a thin wrapper
+/// over the canonical fused scan in [`crate::simd::scan_abs`] — the same
+/// single pass `QuantStats::from_slice` runs, so the max-abs logic
+/// exists exactly once (and is vectorized once).
 pub fn max_abs_bits(data: &[f32]) -> u32 {
-    let mut max = 0u32;
-    for &v in data {
-        let abs = v.to_bits() & ABS_MASK;
-        if abs < EXP_MASK && abs > max {
-            max = abs;
-        }
-    }
-    max
+    crate::simd::scan_abs(data).0
 }
 
 /// `floor(log2(value))` of the f32 whose magnitude bit pattern is
@@ -97,19 +93,19 @@ pub fn floor_log2_bits(abs_bits: u32) -> i32 {
 #[derive(Debug, Clone, Copy)]
 pub struct FastQuantizer {
     /// Patterns below this (incl. ±0) quantize to +0.0: `vmin / 2`.
-    t_half_min: u32,
+    pub(crate) t_half_min: u32,
     /// Patterns below this (but ≥ `t_half_min`) promote to `±value_min`.
-    t_min: u32,
+    pub(crate) t_min: u32,
     /// Patterns at or above this clamp to `±value_max`.
-    t_max: u32,
+    pub(crate) t_max: u32,
     /// `value_min` as f32 bits (positive).
-    vmin_bits: u32,
+    pub(crate) vmin_bits: u32,
     /// `value_max` as f32 bits (positive).
-    vmax_bits: u32,
+    pub(crate) vmax_bits: u32,
     /// Significand right-shift, `23 − m`.
-    shift: u32,
+    pub(crate) shift: u32,
     /// Rounding increment, `2^(shift−1)` (0 when `shift == 0`).
-    round: u32,
+    pub(crate) round: u32,
     /// `2^(m+1)` in significand units — the carry sentinel.
     carry_at: u32,
     /// `2^m` in significand units — the post-carry significand.
@@ -178,16 +174,36 @@ impl FastQuantizer {
         f32::from_bits(sign | (((exp + 127) as u32) << 23) | ((q - self.carry_to) << self.shift))
     }
 
-    /// Quantize `src` into `dst`.
+    /// Quantize `src` into `dst`, through the SIMD path when the host
+    /// offers one (see [`crate::simd`]). Bit-identical to
+    /// [`quantize_into_scalar`](Self::quantize_into_scalar) always.
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     pub fn quantize_into(&self, src: &[f32], dst: &mut [f32]) {
         assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        crate::simd::quantize_fast(self, src, dst);
+    }
+
+    /// Quantize `src` into `dst` through the plain scalar loop — the
+    /// vector paths' reference twin, exposed so benchmarks and the
+    /// bit-identity suites can compare both legs in one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn quantize_into_scalar(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
         for (d, &s) in dst.iter_mut().zip(src) {
             *d = self.quantize_one(s);
         }
+    }
+
+    /// Quantize `data` where it sits (SIMD-dispatched like
+    /// [`quantize_into`](Self::quantize_into)).
+    pub fn quantize_in_place(&self, data: &mut [f32]) {
+        crate::simd::quantize_fast_in_place(self, data);
     }
 }
 

@@ -56,6 +56,7 @@ pub mod par;
 pub mod plan;
 pub mod posit;
 pub mod search;
+pub mod simd;
 pub mod stats;
 pub mod stochastic;
 pub mod table;
@@ -74,6 +75,7 @@ pub use metrics::{max_abs_error, mean_abs_error, rms_error, sqnr_db};
 pub use pack::{BitPacker, PackedCodes};
 pub use plan::{PlanParams, QuantPlan, QuantStats};
 pub use posit::Posit;
+pub use simd::{Isa, SimdReport};
 pub use stats::TensorStats;
 pub use stochastic::StochasticRounder;
 pub use uniform::Uniform;

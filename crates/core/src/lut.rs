@@ -97,6 +97,101 @@ impl Axis {
     }
 }
 
+/// Both sign axes (NaN segments included) fused into one threshold table
+/// over a *key space* that orders every f32 bit pattern: `key(bits) =
+/// bits ^ ((bits >>ₐ 31) | 0x8000_0000)` maps −NaN < −∞ < … < −0 < +0 <
+/// … < +∞ < +NaN onto ascending unsigned integers. The table is what the
+/// AVX2 gather path searches — one branchless binary search instead of a
+/// sign test plus a per-axis walk.
+///
+/// Stored pre-biased (`^ 0x8000_0000`) so vector code can compare keys
+/// with signed `epi32` operations, and padded to a power of two with the
+/// biased `u32::MAX` sentinel (`0x7fff_ffff`, i.e. `i32::MAX`) so the
+/// search runs a fixed number of steps. `values` carries one extra
+/// slot: `values[i]` is the output when exactly `i` thresholds are ≤ the
+/// key, and every padding slot repeats the +NaN output (the only key
+/// that can count a sentinel is `u32::MAX`, which *is* the top +NaN
+/// pattern).
+#[derive(Debug)]
+pub(crate) struct CombinedLut {
+    /// Biased switch keys, padded to a power-of-two length.
+    pub(crate) thresholds_biased: Vec<u32>,
+    /// Output bit patterns, `thresholds_biased.len() + 1` entries.
+    pub(crate) values: Vec<u32>,
+}
+
+impl CombinedLut {
+    /// Fuse the per-sign axes into the combined key-space table.
+    ///
+    /// Built analytically from the already-bisected axes — never by
+    /// re-bisecting the quantizer over the key space, because the NaN
+    /// segments at both ends are not monotone continuations of the value
+    /// order that `Axis::build`'s interval-collapse rule assumes.
+    fn build(pos: &Axis, neg: &Axis, nan_pos: u32, nan_neg: u32) -> CombinedLut {
+        let mut keys: Vec<u32> = Vec::new();
+        let mut values: Vec<u32> = vec![nan_neg];
+        let push = |keys: &mut Vec<u32>, values: &mut Vec<u32>, key: u32, val: u32| {
+            if *values.last().expect("seeded") == val {
+                return; // adjacent segments with equal output fuse
+            }
+            debug_assert!(keys.last().is_none_or(|&k| k < key));
+            keys.push(key);
+            values.push(val);
+        };
+        // Negative axis, walked from −∞ upward: magnitude `abs` maps to
+        // key K(abs) = 0x7fff_ffff − abs, so axis segment `i` (inputs in
+        // [t_{i−1}, t_i)) covers keys (K(t_i), K(t_{i−1})] — each switch
+        // *down* one segment happens at key K(t_{i−1}) + 1.
+        let k = |abs: u32| ABS_MASK - abs;
+        push(
+            &mut keys,
+            &mut values,
+            k(INF_BITS),
+            neg.values[neg.values.len() - 1],
+        );
+        for i in (1..neg.values.len()).rev() {
+            push(
+                &mut keys,
+                &mut values,
+                k(neg.thresholds[i - 1]) + 1,
+                neg.values[i - 1],
+            );
+        }
+        // Positive axis: magnitude `abs` maps to key 0x8000_0000 + abs.
+        push(&mut keys, &mut values, 0x8000_0000, pos.values[0]);
+        for i in 1..pos.values.len() {
+            push(
+                &mut keys,
+                &mut values,
+                0x8000_0000 + pos.thresholds[i - 1],
+                pos.values[i],
+            );
+        }
+        // +NaN: every key above the +∞ pattern.
+        push(&mut keys, &mut values, 0x8000_0000 + INF_BITS + 1, nan_pos);
+        // Pre-bias for signed compares, pad to a power of two.
+        let padded = keys.len().next_power_of_two().max(1);
+        let mut thresholds_biased: Vec<u32> = keys.iter().map(|&key| key ^ 0x8000_0000).collect();
+        thresholds_biased.resize(padded, u32::MAX ^ 0x8000_0000);
+        values.resize(padded + 1, nan_pos);
+        CombinedLut {
+            thresholds_biased,
+            values,
+        }
+    }
+
+    /// Scalar lookup over the combined table (the vector path's oracle;
+    /// exercised by the unit tests below to pin the construction).
+    #[cfg(test)]
+    fn lookup_bits(&self, bits: u32) -> u32 {
+        let key = bits ^ ((((bits as i32) >> 31) as u32) >> 1); // biased key
+        let idx = self
+            .thresholds_biased
+            .partition_point(|&t| (t as i32) <= (key as i32));
+        self.values[idx]
+    }
+}
+
 /// A compiled codebook quantizer: bit-identical to the scalar function it
 /// was built from, at a flat per-element cost.
 #[derive(Debug)]
@@ -105,6 +200,8 @@ pub struct LutQuantizer {
     neg: Axis,
     nan_pos: u32,
     nan_neg: u32,
+    /// The axes fused for the SIMD gather path (`crate::simd`).
+    pub(crate) combined: CombinedLut,
 }
 
 impl LutQuantizer {
@@ -113,11 +210,15 @@ impl LutQuantizer {
     pub fn build(quantize: impl Fn(f32) -> f32) -> LutQuantizer {
         let pos = Axis::build(&|abs| quantize(f32::from_bits(abs)).to_bits());
         let neg = Axis::build(&|abs| quantize(f32::from_bits(abs | !ABS_MASK)).to_bits());
+        let nan_pos = quantize(f32::from_bits(0x7fc0_0000)).to_bits();
+        let nan_neg = quantize(f32::from_bits(0xffc0_0000)).to_bits();
+        let combined = CombinedLut::build(&pos, &neg, nan_pos, nan_neg);
         LutQuantizer {
             pos,
             neg,
-            nan_pos: quantize(f32::from_bits(0x7fc0_0000)).to_bits(),
-            nan_neg: quantize(f32::from_bits(0xffc0_0000)).to_bits(),
+            nan_pos,
+            nan_neg,
+            combined,
         }
     }
 
@@ -134,16 +235,36 @@ impl LutQuantizer {
         f32::from_bits(axis.lookup(abs))
     }
 
-    /// Quantize `src` into `dst`.
+    /// Quantize `src` into `dst`, through the gathered key-space search
+    /// on AVX2 hosts (see [`crate::simd`]). Bit-identical to
+    /// [`quantize_into_scalar`](Self::quantize_into_scalar) always.
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     pub fn quantize_into(&self, src: &[f32], dst: &mut [f32]) {
         assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        crate::simd::quantize_lut(self, src, dst);
+    }
+
+    /// Quantize `src` into `dst` through the scalar per-sign axis walk —
+    /// the vector path's reference twin, exposed so benchmarks and the
+    /// bit-identity suites can compare both legs in one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn quantize_into_scalar(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
         for (d, &s) in dst.iter_mut().zip(src) {
             *d = self.quantize_one(s);
         }
+    }
+
+    /// Quantize `data` where it sits (SIMD-dispatched like
+    /// [`quantize_into`](Self::quantize_into)).
+    pub fn quantize_in_place(&self, data: &mut [f32]) {
+        crate::simd::quantize_lut_in_place(self, data);
     }
 
     /// Quantize a slice into a fresh vector (parallel for large slices).
@@ -300,6 +421,63 @@ mod tests {
             f32::from_bits(1),
         ] {
             assert_eq!(lut.quantize_one(v).to_bits(), q(v).to_bits(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn combined_table_matches_axes_everywhere() {
+        // The fused key-space table must agree with the per-sign axis
+        // walk on every bit pattern class: both sign halves, both NaN
+        // ranges, ±0, ±∞, subnormals, and the segment boundaries.
+        let q = |v: f32| {
+            if v.is_nan() {
+                return -1.0; // asymmetric NaN output to catch mix-ups
+            }
+            let r = ((v as f64) * 4.0).round() / 4.0;
+            r.clamp(-2.0, 3.0) as f32
+        };
+        let lut = LutQuantizer::build(q);
+        assert!(lut.combined.thresholds_biased.len().is_power_of_two());
+        assert_eq!(
+            lut.combined.values.len(),
+            lut.combined.thresholds_biased.len() + 1
+        );
+        let check = |bits: u32| {
+            assert_eq!(
+                lut.combined.lookup_bits(bits),
+                lut.quantize_one(f32::from_bits(bits)).to_bits(),
+                "bits={bits:#010x}"
+            );
+        };
+        for bits in [
+            0u32,
+            0x8000_0000,
+            1,
+            0x8000_0001,
+            0x007f_ffff,
+            INF_BITS - 1,
+            INF_BITS,
+            INF_BITS + 1,
+            0x7fc0_0000,
+            0x7fff_ffff,
+            INF_BITS | 0x8000_0000,
+            0xffc0_0000,
+            u32::MAX,
+        ] {
+            check(bits);
+        }
+        // Dense sweep across both axes, hitting every segment edge.
+        let mut bits = 0u32;
+        while bits < INF_BITS {
+            check(bits);
+            check(bits | 0x8000_0000);
+            bits = bits.wrapping_add(0x0001_7f39);
+        }
+        for &t in lut.pos.thresholds.iter().chain(&lut.neg.thresholds) {
+            for d in [t.wrapping_sub(1), t, t + 1] {
+                check(d);
+                check(d | 0x8000_0000);
+            }
         }
     }
 

@@ -139,6 +139,86 @@ impl PackedCodes {
         self.set(index, flipped);
     }
 
+    /// Append every code in `codes` (bits above `width` masked off), as
+    /// if by repeated [`push`](Self::push) but word-at-a-time: a local
+    /// bit cursor accumulates whole `u64` words instead of re-deriving
+    /// word/offset per code, and 8-bit codes take a SIMD byte-pack once
+    /// the cursor is word-aligned (see [`crate::simd::pack_u8_words`]).
+    pub fn extend_from_u32(&mut self, codes: &[u32]) {
+        let mut codes = codes;
+        if self.width == 8 {
+            // Align the cursor to a word boundary, then pack 8 codes per
+            // word directly.
+            while !codes.is_empty() && !(self.len * 8).is_multiple_of(64) {
+                self.push(codes[0] as u64);
+                codes = &codes[1..];
+            }
+            debug_assert!(codes.is_empty() || (self.len * 8).is_multiple_of(64));
+            let consumed = crate::simd::pack_u8_words(codes, &mut self.words);
+            self.len += consumed;
+            codes = &codes[consumed..];
+            for &c in codes {
+                self.push(c as u64);
+            }
+            return;
+        }
+        let mask = self.mask();
+        let width = self.width as usize;
+        let mut bit_pos = self.len * width;
+        // Reopen the partially-filled last word as the accumulator.
+        let mut cur = if !bit_pos.is_multiple_of(64) {
+            self.words.pop().expect("partial word exists")
+        } else {
+            0
+        };
+        let total_bits = bit_pos + codes.len() * width;
+        self.words
+            .reserve(total_bits.div_ceil(64) - self.words.len());
+        for &c in codes {
+            let code = (c as u64) & mask;
+            let offset = (bit_pos % 64) as u32;
+            cur |= code << offset;
+            let spill = offset + self.width;
+            if spill >= 64 {
+                self.words.push(cur);
+                cur = if spill > 64 { code >> (64 - offset) } else { 0 };
+            }
+            bit_pos += width;
+        }
+        if !bit_pos.is_multiple_of(64) {
+            self.words.push(cur);
+        }
+        self.len += codes.len();
+        debug_assert_eq!(self.words.len(), (self.len * width).div_ceil(64));
+    }
+
+    /// Read every stored code into `dst` (low 32 bits of each code), as
+    /// if by repeated [`get`](Self::get) but word-at-a-time, with a SIMD
+    /// byte-unpack for 8-bit codes. Intended for codes of width ≤ 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.len()`.
+    pub fn unpack_u32_into(&self, dst: &mut [u32]) {
+        assert_eq!(dst.len(), self.len, "slice length mismatch");
+        if self.width == 8 {
+            crate::simd::unpack_u8_words(&self.words, dst);
+            return;
+        }
+        let mask = self.mask();
+        let width = self.width as usize;
+        for (i, d) in dst.iter_mut().enumerate() {
+            let bit_pos = i * width;
+            let word = bit_pos / 64;
+            let offset = (bit_pos % 64) as u32;
+            let mut code = self.words[word] >> offset;
+            if offset + self.width > 64 {
+                code |= self.words[word + 1] << (64 - offset);
+            }
+            *d = (code & mask) as u32;
+        }
+    }
+
     /// Iterate over all stored codes.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.len).map(move |i| self.get(i))
@@ -193,6 +273,35 @@ mod tests {
             p.extend(codes.iter().copied());
             for (i, &c) in codes.iter().enumerate() {
                 assert_eq!(p.get(i), c, "width={width} index={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_extend_matches_push_and_unpack_matches_get() {
+        for width in [1u32, 3, 4, 5, 7, 8, 12, 16, 31, 32] {
+            let mask = (1u64 << width) - 1;
+            for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 200] {
+                let codes: Vec<u32> = (0..len as u64)
+                    .map(|i| (i.wrapping_mul(0x9E37_79B9) & mask) as u32)
+                    .collect();
+                // Seed with a few scalar pushes so the bulk append starts
+                // mid-word, then extend in two chunks.
+                let mut bulk = PackedCodes::new(width);
+                let mut reference = PackedCodes::new(width);
+                for &c in codes.iter().take(3.min(len)) {
+                    bulk.push(c as u64);
+                }
+                let split = len / 2;
+                bulk.extend_from_u32(&codes[3.min(len)..split.max(3.min(len))]);
+                bulk.extend_from_u32(&codes[split.max(3.min(len))..]);
+                for &c in &codes {
+                    reference.push(c as u64);
+                }
+                assert_eq!(bulk, reference, "width={width} len={len}");
+                let mut unpacked = vec![0u32; len];
+                bulk.unpack_u32_into(&mut unpacked);
+                assert_eq!(unpacked, codes, "width={width} len={len}");
             }
         }
     }

@@ -53,11 +53,6 @@ use crate::lut::LutQuantizer;
 use crate::posit::Posit;
 use crate::uniform::Uniform;
 
-/// Bit pattern of +∞ (and the f32 exponent mask).
-const EXP_MASK: u32 = 0x7f80_0000;
-/// Magnitude mask (everything but the sign bit).
-const ABS_MASK: u32 = 0x7fff_ffff;
-
 /// Single-pass statistics a format plans against: the maximum finite
 /// magnitude, the position of the first non-finite element (folded into
 /// the same scan, so strict paths never traverse twice), the tensor
@@ -72,22 +67,13 @@ pub struct QuantStats {
 }
 
 impl QuantStats {
-    /// Scan `data` once: integer-domain max-abs reduction (identical to
-    /// the fused paths' `kernels::max_abs_bits`) that also records the
-    /// index of the first NaN/±∞ element.
+    /// Scan `data` once: integer-domain max-abs reduction that also
+    /// records the index of the first NaN/±∞ element. Runs the canonical
+    /// fused scan in [`crate::simd::scan_abs`] — the same implementation
+    /// behind `kernels::max_abs_bits`, so the max-abs pass exists once
+    /// (and is vectorized once) for the whole crate.
     pub fn from_slice(data: &[f32]) -> QuantStats {
-        let mut max = 0u32;
-        let mut first_non_finite = None;
-        for (i, &v) in data.iter().enumerate() {
-            let abs = v.to_bits() & ABS_MASK;
-            if abs >= EXP_MASK {
-                if first_non_finite.is_none() {
-                    first_non_finite = Some(i);
-                }
-            } else if abs > max {
-                max = abs;
-            }
-        }
+        let (max, first_non_finite) = crate::simd::scan_abs(data);
         QuantStats {
             max_abs: f32::from_bits(max),
             first_non_finite,
@@ -367,8 +353,12 @@ impl QuantPlan {
     pub fn execute_in_place(&self, data: &mut [f32]) {
         match &self.backend {
             Backend::Zero => data.fill(0.0),
-            Backend::Kernel(fast) => apply_map(data, |v| fast.quantize_one(v)),
-            Backend::Lut(table) => apply_map(data, |v| table.quantize_one(v)),
+            Backend::Kernel(fast) => {
+                crate::par::par_apply(data, |chunk| fast.quantize_in_place(chunk));
+            }
+            Backend::Lut(table) => {
+                crate::par::par_apply(data, |chunk| table.quantize_in_place(chunk));
+            }
             Backend::AdaptivRef { fmt, params } => {
                 apply_map(data, |v| fmt.quantize_with(params, v));
             }
@@ -401,6 +391,26 @@ impl QuantPlan {
                     }
                 }
             }
+        }
+    }
+
+    /// Execute the plan through the **scalar** kernel twins, bypassing
+    /// the SIMD dispatch in [`execute_into`](Self::execute_into) (and its
+    /// thread fan-out). Bit-identical to `execute_into` by construction —
+    /// this is the reference leg benchmarks and the bit-identity suites
+    /// compare the vector paths against in one process, without flipping
+    /// the process-wide `AF_FORCE_SCALAR` switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn execute_into_scalar(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "slice length mismatch");
+        match &self.backend {
+            Backend::Kernel(fast) => fast.quantize_into_scalar(src, dst),
+            Backend::Lut(table) => table.quantize_into_scalar(src, dst),
+            // Every other backend is already a scalar map.
+            _ => self.execute_into(src, dst),
         }
     }
 

@@ -1,0 +1,1025 @@
+//! Runtime-dispatched SIMD kernels (AVX2 / SSE4.1) for the hot loops.
+//!
+//! Every vector path here is **bit-identical** to the scalar kernel it
+//! accelerates — the dispatch is a pure speed choice, never a numerics
+//! choice — and every entry point falls back to the scalar twin when the
+//! host lacks the instruction set or when `AF_FORCE_SCALAR` is set:
+//!
+//! * [`FastQuantizer`] quantization: the scalar round/clamp decision tree
+//!   becomes a branch-free vector expression. The carry case (mantissa
+//!   rounding up to 2.0) is absorbed algebraically — for main-range
+//!   values the result is `sign | ((abs & EXP_MASK) + (q << shift) −
+//!   2^23)` whether or not the significand carried, because a carry makes
+//!   `q << shift` equal `2^24` and the `− 2^23` then lands exactly one
+//!   exponent step up. The four special regions (underflow, promote to
+//!   `value_min`, clamp to `value_max`, NaN) become blends on signed
+//!   32-bit compares, which are safe because every magnitude pattern and
+//!   threshold is ≤ `0x7fff_ffff` (non-negative as `i32`).
+//! * LUT codebook gather: the two per-sign threshold axes are fused into
+//!   one table over a sign-folded *key space* (`key = bits ^ ((bits >>ₐ
+//!   31) | 0x8000_0000)` orders all f32 patterns, NaNs included, as plain
+//!   unsigned integers), searched with a branchless binary search whose
+//!   probes are `vpgatherdd` gathers. Requires AVX2 (gathers); SSE4.1
+//!   hosts use the scalar axis walk.
+//! * Fused max-abs/non-finite scan, `PackedCodes` word pack/unpack, the
+//!   packed-GEMM decode primitives (AdaptivFloat codes rebuilt into f32
+//!   bit patterns algebraically, uniform codes via exact `i32 → f64 →
+//!   f32` conversion), and the `axpy` row update the GEMM microkernels
+//!   share (element-wise multiply **then** add, never an FMA, so vector
+//!   and scalar rounding agree).
+//!
+//! The active ISA is detected once per process ([`active`]) and reported
+//! by [`report`] so benchmark snapshots can stamp the capability that
+//! produced them. Setting the `AF_FORCE_SCALAR` environment variable to
+//! anything but `0`/empty pins every dispatch to the scalar twins — the
+//! escape hatch CI uses to run the bit-identity suites on both legs.
+
+use std::sync::OnceLock;
+
+use crate::kernels::FastQuantizer;
+use crate::lut::LutQuantizer;
+
+/// The instruction set a dispatched kernel will use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// 8-lane f32/i32 vectors (`std::arch` AVX2, includes gathers).
+    Avx2,
+    /// 4-lane f32/i32 vectors (`std::arch` SSE4.1; no gathers, so the
+    /// LUT and decode paths fall back to scalar).
+    Sse41,
+    /// Plain scalar loops (non-x86 hosts, pre-SSE4.1 CPUs, or
+    /// `AF_FORCE_SCALAR`).
+    Scalar,
+}
+
+impl Isa {
+    /// Lower-case label for reports and JSON (`"avx2"`, `"sse4.1"`,
+    /// `"scalar"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Isa::Avx2 => "avx2",
+            Isa::Sse41 => "sse4.1",
+            Isa::Scalar => "scalar",
+        }
+    }
+
+    /// f32 lanes per vector register (1 for scalar).
+    pub fn lanes(self) -> usize {
+        match self {
+            Isa::Avx2 => 8,
+            Isa::Sse41 => 4,
+            Isa::Scalar => 1,
+        }
+    }
+}
+
+/// Whether `AF_FORCE_SCALAR` pinned the dispatch to scalar (read once).
+pub fn forced_scalar() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| match std::env::var("AF_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    })
+}
+
+/// The ISA every dispatched kernel in this process uses, detected once:
+/// the widest of AVX2 / SSE4.1 the host offers, unless `AF_FORCE_SCALAR`
+/// pins it to [`Isa::Scalar`].
+pub fn active() -> Isa {
+    static ACTIVE: OnceLock<Isa> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        if forced_scalar() {
+            return Isa::Scalar;
+        }
+        detect()
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> Isa {
+    if is_x86_feature_detected!("avx2") {
+        Isa::Avx2
+    } else if is_x86_feature_detected!("sse4.1") {
+        Isa::Sse41
+    } else {
+        Isa::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> Isa {
+    Isa::Scalar
+}
+
+/// Capability snapshot of the SIMD dispatch, stamped into `BENCH_*.json`
+/// so perf trajectories stay comparable across hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdReport {
+    /// The ISA dispatched kernels run on.
+    pub isa: Isa,
+    /// f32 lanes per vector op on that ISA.
+    pub lanes: usize,
+    /// Whether `AF_FORCE_SCALAR` overrode detection.
+    pub forced_scalar: bool,
+    /// Host supports AVX2 (regardless of the override).
+    pub avx2_available: bool,
+    /// Host supports SSE4.1 (regardless of the override).
+    pub sse41_available: bool,
+}
+
+/// The process-wide capability report (see [`SimdReport`]).
+pub fn report() -> SimdReport {
+    let detected = detect();
+    SimdReport {
+        isa: active(),
+        lanes: active().lanes(),
+        forced_scalar: forced_scalar(),
+        avx2_available: detected == Isa::Avx2,
+        sse41_available: matches!(detected, Isa::Avx2 | Isa::Sse41),
+    }
+}
+
+impl SimdReport {
+    /// Render as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"isa\":\"{}\",\"lanes\":{},\"forced_scalar\":{},\
+             \"avx2_available\":{},\"sse41_available\":{}}}",
+            self.isa.label(),
+            self.lanes,
+            self.forced_scalar,
+            self.avx2_available,
+            self.sse41_available
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// FastQuantizer quantization
+// ---------------------------------------------------------------------
+
+/// Quantize `src` into `dst` (same length) through `fq`, vectorized when
+/// the host allows. Bit-identical to `fq.quantize_one` per element.
+pub(crate) fn quantize_fast(fq: &FastQuantizer, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: `active()` returned Avx2, so the host supports the
+            // avx2 target feature; pointers cover `len` valid f32s.
+            x86::quantize_avx2(fq, src.as_ptr(), dst.as_mut_ptr(), src.len());
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse41 => unsafe {
+            // SAFETY: as above, with sse4.1 detected.
+            x86::quantize_sse41(fq, src.as_ptr(), dst.as_mut_ptr(), src.len());
+        },
+        _ => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = fq.quantize_one(s);
+            }
+        }
+    }
+}
+
+/// In-place variant of [`quantize_fast`].
+pub(crate) fn quantize_fast_in_place(fq: &FastQuantizer, data: &mut [f32]) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; reading and writing the same buffer
+            // is fine because each vector load completes before the
+            // store to the same addresses.
+            x86::quantize_avx2(fq, data.as_ptr(), data.as_mut_ptr(), data.len());
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse41 => unsafe {
+            // SAFETY: as above, with sse4.1 detected.
+            x86::quantize_sse41(fq, data.as_ptr(), data.as_mut_ptr(), data.len());
+        },
+        _ => {
+            for v in data.iter_mut() {
+                *v = fq.quantize_one(*v);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused max-abs / first-non-finite scan
+// ---------------------------------------------------------------------
+
+/// One pass over `data`: the maximum finite magnitude as an f32 bit
+/// pattern (0 when empty/all-zero/all-non-finite) and the index of the
+/// first non-finite element. The canonical scan behind both
+/// `kernels::max_abs_bits` and `QuantStats::from_slice`.
+pub fn scan_abs(data: &[f32]) -> (u32, Option<usize>) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; the slice is read-only.
+            x86::scan_avx2(data)
+        },
+        _ => scan_abs_scalar(data),
+    }
+}
+
+/// Scalar twin of [`scan_abs`] (also the tail loop of the vector path).
+pub fn scan_abs_scalar(data: &[f32]) -> (u32, Option<usize>) {
+    scan_tail(data, 0, 0, None)
+}
+
+/// Fold the scalar scan over `data[start..]` with running state.
+fn scan_tail(
+    data: &[f32],
+    start: usize,
+    mut max: u32,
+    mut first_non_finite: Option<usize>,
+) -> (u32, Option<usize>) {
+    const EXP_MASK: u32 = 0x7f80_0000;
+    const ABS_MASK: u32 = 0x7fff_ffff;
+    for (i, &v) in data.iter().enumerate().skip(start) {
+        let abs = v.to_bits() & ABS_MASK;
+        if abs >= EXP_MASK {
+            if first_non_finite.is_none() {
+                first_non_finite = Some(i);
+            }
+        } else if abs > max {
+            max = abs;
+        }
+    }
+    (max, first_non_finite)
+}
+
+// ---------------------------------------------------------------------
+// LUT codebook gather
+// ---------------------------------------------------------------------
+
+/// Quantize `src` into `dst` through `lut`'s codebook, using the fused
+/// key-space table with gathered binary search on AVX2 and the scalar
+/// per-sign axis walk otherwise. Bit-identical to `lut.quantize_one`.
+pub(crate) fn quantize_lut(lut: &LutQuantizer, src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; the combined table's invariants
+            // (power-of-two threshold count, values one longer) are
+            // established at build time in `lut.rs`.
+            x86::lut_avx2(lut, src.as_ptr(), dst.as_mut_ptr(), src.len());
+        },
+        _ => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = lut.quantize_one(s);
+            }
+        }
+    }
+}
+
+/// In-place variant of [`quantize_lut`].
+pub(crate) fn quantize_lut_in_place(lut: &LutQuantizer, data: &mut [f32]) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: as in `quantize_lut`; same-buffer load/store is
+            // ordered per chunk.
+            x86::lut_avx2(lut, data.as_ptr(), data.as_mut_ptr(), data.len());
+        },
+        _ => {
+            for v in data.iter_mut() {
+                *v = lut.quantize_one(*v);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// GEMM primitives
+// ---------------------------------------------------------------------
+
+/// `y[i] += a * x[i]` for every lane — the row update both the dense and
+/// the packed GEMM microkernels run. The vector form multiplies then
+/// adds per lane (no FMA contraction), so it is bit-identical to the
+/// scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "slice length mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; `x` and `y` are distinct slices of
+            // equal length.
+            x86::axpy_avx2(a, x.as_ptr(), y.as_mut_ptr(), x.len());
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse41 => unsafe {
+            // SAFETY: sse4.1 detected (the kernel only needs SSE ops).
+            x86::axpy_sse41(a, x.as_ptr(), y.as_mut_ptr(), x.len());
+        },
+        _ => {
+            for (yv, &xv) in y.iter_mut().zip(x) {
+                *yv += a * xv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PackedCodes word pack/unpack (8-bit codes, 8 per u64 word)
+// ---------------------------------------------------------------------
+
+/// Pack the low bytes of `codes` into `u64` words (8 codes per word,
+/// LSB-first — `PackedCodes`' layout for `width == 8`), appending to
+/// `words`. Consumes `codes.len() & !7` codes and returns that count;
+/// the caller pushes any tail through the bit-cursor path.
+pub fn pack_u8_words(codes: &[u32], words: &mut Vec<u64>) -> usize {
+    let full = codes.len() & !7;
+    words.reserve(full / 8);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; each iteration reads 8 in-bounds u32s.
+            x86::pack_u8_words_avx2(&codes[..full], words);
+        },
+        _ => {
+            for chunk in codes[..full].chunks_exact(8) {
+                let mut w = 0u64;
+                for (i, &c) in chunk.iter().enumerate() {
+                    w |= ((c & 0xff) as u64) << (8 * i);
+                }
+                words.push(w);
+            }
+        }
+    }
+    full
+}
+
+/// Unpack `u64` words holding 8-bit codes (8 per word, LSB-first) into
+/// `dst`. `words` must hold at least `dst.len()` codes.
+///
+/// # Panics
+///
+/// Panics if `words` holds fewer codes than `dst` expects.
+pub fn unpack_u8_words(words: &[u64], dst: &mut [u32]) {
+    assert!(words.len() * 8 >= dst.len(), "not enough packed words");
+    let full = dst.len() & !7;
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; `full/8 ≤ words.len()` words are
+            // read and `full` u32s written in bounds.
+            x86::unpack_u8_words_avx2(words, dst.as_mut_ptr(), full);
+        },
+        _ => {
+            for (chunk, &w) in dst[..full].chunks_exact_mut(8).zip(words) {
+                for (i, d) in chunk.iter_mut().enumerate() {
+                    *d = ((w >> (8 * i)) & 0xff) as u32;
+                }
+            }
+        }
+    }
+    if full < dst.len() {
+        let w = words[full / 8];
+        for (i, d) in dst[full..].iter_mut().enumerate() {
+            *d = ((w >> (8 * i)) & 0xff) as u32;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed-GEMM decode primitives
+// ---------------------------------------------------------------------
+
+/// Frozen AdaptivFloat geometry for the algebraic code → f32 decode.
+///
+/// Valid only inside the `FastQuantizer` envelope (`m ≤ 23`,
+/// `exp_bias ≥ −126`, `exp_max ≤ 127`) where every representable value
+/// is a normal f32; callers verify the decode against the format's
+/// reference codebook before relying on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AfDecode {
+    /// Word size in bits.
+    pub n: u32,
+    /// Mantissa field width (`n − e − 1`).
+    pub m: u32,
+    /// The tensor's frozen exponent bias.
+    pub exp_bias: i32,
+}
+
+impl AfDecode {
+    /// Decode one `n`-bit AdaptivFloat code to f32, algebraically: the
+    /// all-zero magnitude is the paper's custom ±0 assignment (decoded
+    /// as +0.0, sign dropped), everything else is a normal f32 rebuilt
+    /// field by field.
+    #[inline]
+    pub fn decode_one(&self, code: u32) -> f32 {
+        let sign = (code >> (self.n - 1)) & 1;
+        let rest = code & ((1u32 << (self.n - 1)) - 1);
+        if rest == 0 {
+            return 0.0;
+        }
+        let exp_field = rest >> self.m;
+        let mant = code & ((1u32 << self.m) - 1);
+        let biased = (exp_field as i32 + self.exp_bias + 127) as u32;
+        f32::from_bits((sign << 31) | (biased << 23) | (mant << (23 - self.m)))
+    }
+}
+
+/// Decode one-byte-per-code AdaptivFloat codes into `dst`
+/// (`codes.len() == dst.len()`), vectorized on AVX2.
+pub fn decode_af_u8(d: &AfDecode, codes: &[u8], dst: &mut [f32]) {
+    debug_assert_eq!(codes.len(), dst.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; both slices have the same length.
+            x86::decode_af_u8_avx2(d, codes.as_ptr(), dst.as_mut_ptr(), dst.len());
+        },
+        _ => {
+            for (dv, &c) in dst.iter_mut().zip(codes) {
+                *dv = d.decode_one(c as u32);
+            }
+        }
+    }
+}
+
+/// Decode nibble-packed (two codes per byte, low nibble first)
+/// AdaptivFloat codes into `dst`; `packed` must hold at least
+/// `ceil(dst.len() / 2)` bytes.
+pub fn decode_af_u4(d: &AfDecode, packed: &[u8], dst: &mut [f32]) {
+    debug_assert!(packed.len() * 2 >= dst.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; each 8-code step reads 4 in-bounds
+            // bytes, the scalar tail covers the rest.
+            x86::decode_af_u4_avx2(d, packed.as_ptr(), dst.as_mut_ptr(), dst.len());
+        },
+        _ => decode_af_u4_tail(d, packed, dst, 0),
+    }
+}
+
+/// Scalar nibble decode from code index `start` (shared tail).
+fn decode_af_u4_tail(d: &AfDecode, packed: &[u8], dst: &mut [f32], start: usize) {
+    for (i, dv) in dst.iter_mut().enumerate().skip(start) {
+        let byte = packed[i / 2];
+        let code = if i % 2 == 0 { byte & 0xf } else { byte >> 4 };
+        *dv = d.decode_one(code as u32);
+    }
+}
+
+/// Decode one-byte-per-code uniform (two's-complement i8) codes into
+/// `dst` at the plan's frozen `scale`. The vector path converts through
+/// f64 exactly like the scalar `(level as f64 * scale) as f32`, so both
+/// round identically.
+pub fn decode_uniform_u8(scale: f64, codes: &[u8], dst: &mut [f32]) {
+    debug_assert_eq!(codes.len(), dst.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; both slices have the same length.
+            x86::decode_uniform_u8_avx2(scale, codes.as_ptr(), dst.as_mut_ptr(), dst.len());
+        },
+        _ => {
+            for (dv, &c) in dst.iter_mut().zip(codes) {
+                *dv = (c as i8 as f64 * scale) as f32;
+            }
+        }
+    }
+}
+
+/// Decode nibble-packed uniform (4-bit two's complement, low nibble
+/// first) codes into `dst`; `packed` must hold at least
+/// `ceil(dst.len() / 2)` bytes.
+pub fn decode_uniform_u4(scale: f64, packed: &[u8], dst: &mut [f32]) {
+    debug_assert!(packed.len() * 2 >= dst.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            // SAFETY: avx2 detected; each 8-code step reads 4 in-bounds
+            // bytes, the scalar tail covers the rest.
+            x86::decode_uniform_u4_avx2(scale, packed.as_ptr(), dst.as_mut_ptr(), dst.len());
+        },
+        _ => decode_uniform_u4_tail(scale, packed, dst, 0),
+    }
+}
+
+/// Sign-extend a 4-bit two's-complement nibble.
+#[inline]
+fn sext4(nib: u32) -> i32 {
+    (nib as i32 ^ 0x8) - 0x8
+}
+
+/// Scalar nibble decode from code index `start` (shared tail).
+fn decode_uniform_u4_tail(scale: f64, packed: &[u8], dst: &mut [f32], start: usize) {
+    for (i, dv) in dst.iter_mut().enumerate().skip(start) {
+        let byte = packed[i / 2];
+        let nib = if i % 2 == 0 { byte & 0xf } else { byte >> 4 };
+        *dv = (sext4(nib as u32) as f64 * scale) as f32;
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86-64 kernels
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{decode_af_u4_tail, decode_uniform_u4_tail, scan_tail, AfDecode};
+    use crate::kernels::FastQuantizer;
+    use crate::lut::LutQuantizer;
+    use std::arch::x86_64::*;
+
+    const EXP_MASK: u32 = 0x7f80_0000;
+    const MANT_MASK: u32 = 0x007f_ffff;
+    const ABS_MASK: u32 = 0x7fff_ffff;
+    const SIGN_MASK: u32 = 0x8000_0000;
+
+    /// AVX2 FastQuantizer: 8 lanes per step, scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `src` and `dst` must each cover `len` valid f32s;
+    /// they may alias exactly (in-place) but must not partially overlap.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_avx2(
+        fq: &FastQuantizer,
+        src: *const f32,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        let t_half_min = _mm256_set1_epi32(fq.t_half_min as i32);
+        let t_min = _mm256_set1_epi32(fq.t_min as i32);
+        let t_max_m1 = _mm256_set1_epi32(fq.t_max.wrapping_sub(1) as i32);
+        let vmin = _mm256_set1_epi32(fq.vmin_bits as i32);
+        let vmax = _mm256_set1_epi32(fq.vmax_bits as i32);
+        let abs_mask = _mm256_set1_epi32(ABS_MASK as i32);
+        let sign_mask = _mm256_set1_epi32(SIGN_MASK as i32);
+        let exp_mask = _mm256_set1_epi32(EXP_MASK as i32);
+        let mant_mask = _mm256_set1_epi32(MANT_MASK as i32);
+        let implicit = _mm256_set1_epi32(1 << 23);
+        let round = _mm256_set1_epi32(fq.round as i32);
+        let shift = _mm_cvtsi32_si128(fq.shift as i32);
+        let mut i = 0;
+        while i + 8 <= len {
+            let bits = _mm256_loadu_si256(src.add(i) as *const __m256i);
+            let abs = _mm256_and_si256(bits, abs_mask);
+            let sign = _mm256_and_si256(bits, sign_mask);
+            // Main path, branch-free (the carry into the exponent is
+            // absorbed — see the module docs).
+            let sig = _mm256_or_si256(_mm256_and_si256(abs, mant_mask), implicit);
+            let q = _mm256_srl_epi32(_mm256_add_epi32(sig, round), shift);
+            let main = _mm256_sub_epi32(
+                _mm256_add_epi32(_mm256_and_si256(abs, exp_mask), _mm256_sll_epi32(q, shift)),
+                implicit,
+            );
+            let mut r = _mm256_or_si256(sign, main);
+            // abs < t_min → ±value_min (underflow-to-zero fixed below).
+            let lt_min = _mm256_cmpgt_epi32(t_min, abs);
+            r = _mm256_blendv_epi8(r, _mm256_or_si256(sign, vmin), lt_min);
+            // abs ≥ t_max → ±value_max (∞ included; NaN fixed below).
+            let ge_max = _mm256_cmpgt_epi32(abs, t_max_m1);
+            r = _mm256_blendv_epi8(r, _mm256_or_si256(sign, vmax), ge_max);
+            // NaN (abs > EXP_MASK) and abs < t_half_min → +0.0.
+            let nan = _mm256_cmpgt_epi32(abs, exp_mask);
+            let lt_half = _mm256_cmpgt_epi32(t_half_min, abs);
+            r = _mm256_andnot_si256(_mm256_or_si256(nan, lt_half), r);
+            _mm256_storeu_si256(dst.add(i) as *mut __m256i, r);
+            i += 8;
+        }
+        while i < len {
+            *dst.add(i) = fq.quantize_one(*src.add(i));
+            i += 1;
+        }
+    }
+
+    /// SSE4.1 FastQuantizer: 4 lanes per step, scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Requires SSE4.1. Same slice contract as [`quantize_avx2`].
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn quantize_sse41(
+        fq: &FastQuantizer,
+        src: *const f32,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        let t_half_min = _mm_set1_epi32(fq.t_half_min as i32);
+        let t_min = _mm_set1_epi32(fq.t_min as i32);
+        let t_max_m1 = _mm_set1_epi32(fq.t_max.wrapping_sub(1) as i32);
+        let vmin = _mm_set1_epi32(fq.vmin_bits as i32);
+        let vmax = _mm_set1_epi32(fq.vmax_bits as i32);
+        let abs_mask = _mm_set1_epi32(ABS_MASK as i32);
+        let sign_mask = _mm_set1_epi32(SIGN_MASK as i32);
+        let exp_mask = _mm_set1_epi32(EXP_MASK as i32);
+        let mant_mask = _mm_set1_epi32(MANT_MASK as i32);
+        let implicit = _mm_set1_epi32(1 << 23);
+        let round = _mm_set1_epi32(fq.round as i32);
+        let shift = _mm_cvtsi32_si128(fq.shift as i32);
+        let mut i = 0;
+        while i + 4 <= len {
+            let bits = _mm_loadu_si128(src.add(i) as *const __m128i);
+            let abs = _mm_and_si128(bits, abs_mask);
+            let sign = _mm_and_si128(bits, sign_mask);
+            let sig = _mm_or_si128(_mm_and_si128(abs, mant_mask), implicit);
+            let q = _mm_srl_epi32(_mm_add_epi32(sig, round), shift);
+            let main = _mm_sub_epi32(
+                _mm_add_epi32(_mm_and_si128(abs, exp_mask), _mm_sll_epi32(q, shift)),
+                implicit,
+            );
+            let mut r = _mm_or_si128(sign, main);
+            let lt_min = _mm_cmpgt_epi32(t_min, abs);
+            r = _mm_blendv_epi8(r, _mm_or_si128(sign, vmin), lt_min);
+            let ge_max = _mm_cmpgt_epi32(abs, t_max_m1);
+            r = _mm_blendv_epi8(r, _mm_or_si128(sign, vmax), ge_max);
+            let nan = _mm_cmpgt_epi32(abs, exp_mask);
+            let lt_half = _mm_cmpgt_epi32(t_half_min, abs);
+            r = _mm_andnot_si128(_mm_or_si128(nan, lt_half), r);
+            _mm_storeu_si128(dst.add(i) as *mut __m128i, r);
+            i += 4;
+        }
+        while i < len {
+            *dst.add(i) = fq.quantize_one(*src.add(i));
+            i += 1;
+        }
+    }
+
+    /// AVX2 fused max-abs / first-non-finite scan.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scan_avx2(data: &[f32]) -> (u32, Option<usize>) {
+        let abs_mask = _mm256_set1_epi32(ABS_MASK as i32);
+        let exp_mask = _mm256_set1_epi32(EXP_MASK as i32);
+        let mut maxv = _mm256_setzero_si256();
+        let mut first_non_finite = None;
+        let ptr = data.as_ptr();
+        let len = data.len();
+        let mut i = 0;
+        while i + 8 <= len {
+            let bits = _mm256_loadu_si256(ptr.add(i) as *const __m256i);
+            let abs = _mm256_and_si256(bits, abs_mask);
+            // Finite lanes: abs < EXP_MASK (all operands ≤ 0x7fffffff,
+            // so the signed compare orders them correctly).
+            let finite = _mm256_cmpgt_epi32(exp_mask, abs);
+            if first_non_finite.is_none() {
+                let fin_bits = _mm256_movemask_ps(_mm256_castsi256_ps(finite)) as u32;
+                if fin_bits != 0xff {
+                    first_non_finite = Some(i + (!fin_bits & 0xff).trailing_zeros() as usize);
+                }
+            }
+            maxv = _mm256_max_epi32(maxv, _mm256_and_si256(abs, finite));
+            i += 8;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, maxv);
+        let max = lanes.iter().map(|&l| l as u32).max().unwrap_or(0);
+        scan_tail(data, i, max, first_non_finite)
+    }
+
+    /// AVX2 `y += a·x` (multiply then add per lane — no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `x` and `y` must each cover `len` valid f32s and
+    /// must not overlap.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(a: f32, x: *const f32, y: *mut f32, len: usize) {
+        let av = _mm256_set1_ps(a);
+        let mut i = 0;
+        while i + 8 <= len {
+            let xv = _mm256_loadu_ps(x.add(i));
+            let yv = _mm256_loadu_ps(y.add(i));
+            _mm256_storeu_ps(y.add(i), _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+            i += 8;
+        }
+        while i < len {
+            *y.add(i) += a * *x.add(i);
+            i += 1;
+        }
+    }
+
+    /// SSE `y += a·x` (multiply then add per lane — no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Requires SSE4.1 (uses only SSE ops). Same contract as
+    /// [`axpy_avx2`].
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn axpy_sse41(a: f32, x: *const f32, y: *mut f32, len: usize) {
+        let av = _mm_set1_ps(a);
+        let mut i = 0;
+        while i + 4 <= len {
+            let xv = _mm_loadu_ps(x.add(i));
+            let yv = _mm_loadu_ps(y.add(i));
+            _mm_storeu_ps(y.add(i), _mm_add_ps(yv, _mm_mul_ps(av, xv)));
+            i += 4;
+        }
+        while i < len {
+            *y.add(i) += a * *x.add(i);
+            i += 1;
+        }
+    }
+
+    /// AVX2 LUT gather: sign-folded biased keys, branchless binary
+    /// search over the combined threshold table, one final values gather.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `src`/`dst` must each cover `len` valid f32s (they
+    /// may alias exactly). `lut.combined` must satisfy the build
+    /// invariants: `thresholds_biased.len()` is a power of two and
+    /// `values.len() == thresholds_biased.len() + 1`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lut_avx2(lut: &LutQuantizer, src: *const f32, dst: *mut f32, len: usize) {
+        let combined = &lut.combined;
+        let th = combined.thresholds_biased.as_ptr() as *const i32;
+        let vals = combined.values.as_ptr() as *const i32;
+        let p = combined.thresholds_biased.len();
+        debug_assert!(p.is_power_of_two());
+        debug_assert_eq!(combined.values.len(), p + 1);
+        let one = _mm256_set1_epi32(1);
+        let mut i = 0;
+        while i + 8 <= len {
+            let bits = _mm256_loadu_si256(src.add(i) as *const __m256i);
+            // Biased key: bits ^ ((bits >>ₐ 31) >>ₗ 1) folds both sign
+            // halves into one ascending order, pre-biased for signed
+            // compares (see `lut::CombinedLut`).
+            let key = _mm256_xor_si256(bits, _mm256_srli_epi32(_mm256_srai_epi32(bits, 31), 1));
+            let mut base = _mm256_setzero_si256();
+            let mut remaining = p;
+            while remaining > 1 {
+                let half = remaining / 2;
+                let probe = _mm256_add_epi32(base, _mm256_set1_epi32(half as i32 - 1));
+                let t = _mm256_i32gather_epi32(th, probe, 4);
+                // t ≤ key ⇒ the lane's lower bound moves up by `half`.
+                let gt = _mm256_cmpgt_epi32(t, key);
+                base = _mm256_add_epi32(
+                    base,
+                    _mm256_andnot_si256(gt, _mm256_set1_epi32(half as i32)),
+                );
+                remaining -= half;
+            }
+            let t = _mm256_i32gather_epi32(th, base, 4);
+            let gt = _mm256_cmpgt_epi32(t, key);
+            let idx = _mm256_add_epi32(base, _mm256_andnot_si256(gt, one));
+            let out = _mm256_i32gather_epi32(vals, idx, 4);
+            _mm256_storeu_si256(dst.add(i) as *mut __m256i, out);
+            i += 8;
+        }
+        while i < len {
+            *dst.add(i) = lut.quantize_one(*src.add(i));
+            i += 1;
+        }
+    }
+
+    /// AVX2 byte-pack: 8 low bytes of 8 u32 codes → one u64 word each.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `codes.len()` must be a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pack_u8_words_avx2(codes: &[u32], words: &mut Vec<u64>) {
+        debug_assert_eq!(codes.len() % 8, 0);
+        // Per 128-bit lane: byte 0 of each dword into positions 0..4.
+        let shuf = _mm256_setr_epi8(
+            0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 4, 8, 12, -1, -1, -1,
+            -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        );
+        for chunk in codes.chunks_exact(8) {
+            let v = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+            let t = _mm256_shuffle_epi8(v, shuf);
+            let lo = _mm_cvtsi128_si32(_mm256_castsi256_si128(t)) as u32;
+            let hi = _mm_cvtsi128_si32(_mm256_extracti128_si256(t, 1)) as u32;
+            words.push((lo as u64) | ((hi as u64) << 32));
+        }
+    }
+
+    /// AVX2 byte-unpack: one u64 word → 8 u32 codes each.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `words` must hold at least `full / 8` words and
+    /// `dst` must cover `full` u32s; `full` is a multiple of 8.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn unpack_u8_words_avx2(words: &[u64], dst: *mut u32, full: usize) {
+        debug_assert_eq!(full % 8, 0);
+        for (wi, &w) in words.iter().take(full / 8).enumerate() {
+            let v = _mm256_cvtepu8_epi32(_mm_cvtsi64_si128(w as i64));
+            _mm256_storeu_si256(dst.add(wi * 8) as *mut __m256i, v);
+        }
+    }
+
+    /// Rebuild f32 bit patterns from 8 AdaptivFloat codes in epi32 lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. Lanes must hold valid `d.n`-bit codes.
+    #[target_feature(enable = "avx2")]
+    unsafe fn decode_af_lanes(d: &AfDecode, c: __m256i) -> __m256i {
+        let sign = _mm256_slli_epi32(_mm256_srl_epi32(c, _mm_cvtsi32_si128(d.n as i32 - 1)), 31);
+        let rest = _mm256_and_si256(c, _mm256_set1_epi32(((1u32 << (d.n - 1)) - 1) as i32));
+        let zero = _mm256_cmpeq_epi32(rest, _mm256_setzero_si256());
+        let exp_field = _mm256_srl_epi32(rest, _mm_cvtsi32_si128(d.m as i32));
+        let mant = _mm256_and_si256(c, _mm256_set1_epi32(((1u32 << d.m) - 1) as i32));
+        let biased = _mm256_add_epi32(exp_field, _mm256_set1_epi32(d.exp_bias + 127));
+        let r = _mm256_or_si256(
+            _mm256_or_si256(sign, _mm256_slli_epi32(biased, 23)),
+            _mm256_sll_epi32(mant, _mm_cvtsi32_si128(23 - d.m as i32)),
+        );
+        _mm256_andnot_si256(zero, r)
+    }
+
+    /// AVX2 AdaptivFloat byte-code decode.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `codes` and `dst` must each cover `len` elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_af_u8_avx2(
+        d: &AfDecode,
+        codes: *const u8,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        let mut i = 0;
+        while i + 8 <= len {
+            let c = _mm256_cvtepu8_epi32(_mm_loadl_epi64(codes.add(i) as *const __m128i));
+            _mm256_storeu_si256(dst.add(i) as *mut __m256i, decode_af_lanes(d, c));
+            i += 8;
+        }
+        while i < len {
+            *dst.add(i) = d.decode_one(*codes.add(i) as u32);
+            i += 1;
+        }
+    }
+
+    /// Spread the 8 nibbles of a dword (low nibble first) into epi32 lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn nibbles_to_lanes(dword: u32) -> __m256i {
+        let v = _mm256_set1_epi32(dword as i32);
+        let shifts = _mm256_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28);
+        _mm256_and_si256(_mm256_srlv_epi32(v, shifts), _mm256_set1_epi32(0xf))
+    }
+
+    /// AVX2 AdaptivFloat nibble-code decode (scalar tail for the odd end).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `packed` must hold `ceil(len / 2)` bytes and `dst`
+    /// must cover `len` f32s.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_af_u4_avx2(
+        d: &AfDecode,
+        packed: *const u8,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        let full = len & !7;
+        let mut i = 0;
+        while i < full {
+            let dword = (packed.add(i / 2) as *const u32).read_unaligned();
+            let c = nibbles_to_lanes(dword);
+            _mm256_storeu_si256(dst.add(i) as *mut __m256i, decode_af_lanes(d, c));
+            i += 8;
+        }
+        let packed = std::slice::from_raw_parts(packed, len.div_ceil(2));
+        let dst = std::slice::from_raw_parts_mut(dst, len);
+        decode_af_u4_tail(d, packed, dst, full);
+    }
+
+    /// Multiply 8 epi32 levels by an f64 scale and narrow to f32,
+    /// matching the scalar `(level as f64 * scale) as f32` exactly
+    /// (both convert and round through f64 with ties-to-even).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_levels(levels: __m256i, scale: __m256d) -> __m256 {
+        let lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(levels));
+        let hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(levels, 1));
+        let f_lo = _mm256_cvtpd_ps(_mm256_mul_pd(lo, scale));
+        let f_hi = _mm256_cvtpd_ps(_mm256_mul_pd(hi, scale));
+        _mm256_set_m128(f_hi, f_lo)
+    }
+
+    /// AVX2 uniform byte-code decode.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `codes` and `dst` must each cover `len` elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_uniform_u8_avx2(
+        scale: f64,
+        codes: *const u8,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        let sv = _mm256_set1_pd(scale);
+        let mut i = 0;
+        while i + 8 <= len {
+            let levels = _mm256_cvtepi8_epi32(_mm_loadl_epi64(codes.add(i) as *const __m128i));
+            _mm256_storeu_ps(dst.add(i), scale_levels(levels, sv));
+            i += 8;
+        }
+        while i < len {
+            *dst.add(i) = (*codes.add(i) as i8 as f64 * scale) as f32;
+            i += 1;
+        }
+    }
+
+    /// AVX2 uniform nibble-code decode.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `packed` must hold `ceil(len / 2)` bytes and `dst`
+    /// must cover `len` f32s.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn decode_uniform_u4_avx2(
+        scale: f64,
+        packed: *const u8,
+        dst: *mut f32,
+        len: usize,
+    ) {
+        let sv = _mm256_set1_pd(scale);
+        let eight = _mm256_set1_epi32(8);
+        let full = len & !7;
+        let mut i = 0;
+        while i < full {
+            let dword = (packed.add(i / 2) as *const u32).read_unaligned();
+            let nibs = nibbles_to_lanes(dword);
+            // 4-bit sign extension: (x ^ 8) − 8.
+            let levels = _mm256_sub_epi32(_mm256_xor_si256(nibs, eight), eight);
+            _mm256_storeu_ps(dst.add(i), scale_levels(levels, sv));
+            i += 8;
+        }
+        let packed = std::slice::from_raw_parts(packed, len.div_ceil(2));
+        let dst = std::slice::from_raw_parts_mut(dst, len);
+        decode_uniform_u4_tail(scale, packed, dst, full);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_consistent() {
+        let r = report();
+        assert_eq!(r.lanes, r.isa.lanes());
+        if r.forced_scalar {
+            assert_eq!(r.isa, Isa::Scalar);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"isa\""), "{json}");
+        assert!(json.contains(r.isa.label()), "{json}");
+    }
+
+    #[test]
+    fn scan_matches_scalar_twin() {
+        let mut data: Vec<f32> = (0..67).map(|i| (i as f32 - 31.0) * 0.73).collect();
+        assert_eq!(scan_abs(&data), scan_abs_scalar(&data));
+        data[40] = f32::NAN;
+        data[9] = f32::NEG_INFINITY;
+        assert_eq!(scan_abs(&data), scan_abs_scalar(&data));
+        assert_eq!(scan_abs(&data).1, Some(9));
+        assert_eq!(scan_abs(&[]), (0, None));
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop() {
+        let x: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let mut y: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        let mut want = y.clone();
+        for (w, &xv) in want.iter_mut().zip(&x) {
+            *w += 1.37 * xv;
+        }
+        axpy(1.37, &x, &mut y);
+        let got: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_unpack_words_roundtrip() {
+        let codes: Vec<u32> = (0..83).map(|i| (i * 37) & 0xff).collect();
+        let mut words = Vec::new();
+        let consumed = pack_u8_words(&codes, &mut words);
+        assert_eq!(consumed, 80);
+        assert_eq!(words.len(), 10);
+        let mut back = vec![0u32; consumed];
+        unpack_u8_words(&words, &mut back);
+        assert_eq!(back, codes[..consumed]);
+    }
+}

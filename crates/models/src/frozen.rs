@@ -25,8 +25,11 @@
 //! elementwise map under a *fixed* per-layer range (never a per-batch
 //! statistic). `tests/frozen_batch.rs` pins the invariant.
 
-use adaptivfloat::{FormatError, FormatKind, NumberFormat, QuantPlan, QuantStats};
-use af_tensor::Tensor;
+use adaptivfloat::{
+    AdaptivFloat, AdaptivParams, FormatError, FormatKind, NumberFormat, PlanParams, QuantPlan,
+    QuantStats, Uniform,
+};
+use af_tensor::{PackedDecode, PackedGemm, PackedGemmScratch, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +43,22 @@ struct FrozenLayer {
     weight: Tensor,
     /// `[out]` bias (kept FP32, as is conventional).
     bias: Tensor,
+    /// Fused quantized-domain GEMM operand, when
+    /// [`FrozenMlp::with_fused_gemm`] was applied: the same weights as
+    /// packed codes, multiplied without dequantizing to a f32 matrix.
+    packed: Option<PackedGemm>,
+}
+
+/// The weight-quantization recipe recorded by
+/// [`FrozenMlp::quantize_weights`]: the format geometry plus each
+/// layer's frozen per-tensor parameters. This is what lets
+/// [`FrozenMlp::with_fused_gemm`] re-encode the (already quantized)
+/// weights into exact packed codes after the fact.
+#[derive(Debug, Clone)]
+struct WeightQuant {
+    kind: FormatKind,
+    n: u32,
+    params: Vec<PlanParams>,
 }
 
 /// Calibrated activation quantization: one format applied to every
@@ -66,6 +85,9 @@ pub struct FrozenMlp {
     format: String,
     layers: Vec<FrozenLayer>,
     act: Option<ActQuant>,
+    /// Set by [`quantize_weights`](FrozenMlp::quantize_weights); `None`
+    /// for FP32 or externally-swapped weights (which carry no recipe).
+    weight_quant: Option<WeightQuant>,
 }
 
 fn ensemble_kind(family: ModelFamily) -> EnsembleKind {
@@ -107,6 +129,7 @@ impl FrozenMlp {
                 FrozenLayer {
                     weight: Tensor::from_vec(w[..cin * cout].to_vec(), &[cin, cout]),
                     bias: Tensor::from_vec(bias, &[cout]),
+                    packed: None,
                 }
             })
             .collect();
@@ -115,6 +138,7 @@ impl FrozenMlp {
             format: "fp32".to_string(),
             layers,
             act: None,
+            weight_quant: None,
         }
     }
 
@@ -147,6 +171,7 @@ impl FrozenMlp {
             "quantize weights before calibrating activations"
         );
         let fmt = kind.build(n)?;
+        let mut params = Vec::with_capacity(self.layers.len());
         let layers = self
             .layers
             .into_iter()
@@ -154,9 +179,11 @@ impl FrozenMlp {
                 let shape = l.weight.shape().to_vec();
                 let plan = fmt.plan(&QuantStats::from_slice(l.weight.data()));
                 let q = plan.execute(l.weight.data());
+                params.push(*plan.params());
                 FrozenLayer {
                     weight: Tensor::from_vec(q, &shape),
                     bias: l.bias,
+                    packed: None,
                 }
             })
             .collect();
@@ -165,7 +192,113 @@ impl FrozenMlp {
             format: fmt.name(),
             layers,
             act: self.act,
+            weight_quant: Some(WeightQuant { kind, n, params }),
         })
+    }
+
+    /// Switch eligible layers to the fused quantized-domain GEMM: each
+    /// weight matrix is re-encoded into its `n`-bit codes and kept
+    /// packed (`n/8` bytes per weight instead of 4), decoded on the fly
+    /// inside the matmul microkernel. Batched evaluation stays
+    /// **bit-identical** — the packed kernel reproduces the dense
+    /// blocked matmul's ascending-`k` accumulation exactly, and every
+    /// re-encoded code is verified to decode back to the served weight's
+    /// bit pattern here (any violation panics rather than serving
+    /// subtly different results).
+    ///
+    /// Supported: [`FormatKind::AdaptivFloat`] and
+    /// [`FormatKind::Uniform`] weights at `n ∈ {4, 8}`. The per-sample
+    /// [`evaluate`](Self::evaluate) reference deliberately keeps using
+    /// the dense weights, so the batch-vs-reference bit-identity tests
+    /// cross-check the fused kernel end to end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights were not quantized through
+    /// [`quantize_weights`](Self::quantize_weights) (FP32 or swapped-in
+    /// weights carry no encoding recipe), if the format/word size is
+    /// unsupported, or if any weight fails the exact re-encode check.
+    pub fn with_fused_gemm(mut self) -> FrozenMlp {
+        let wq = self
+            .weight_quant
+            .clone()
+            .expect("fused GEMM needs quantize_weights first (no recipe on these weights)");
+        assert!(
+            matches!(wq.kind, FormatKind::AdaptivFloat | FormatKind::Uniform),
+            "fused GEMM supports AdaptivFloat and Uniform weights, not {}",
+            wq.kind
+        );
+        assert!(
+            wq.n == 4 || wq.n == 8,
+            "fused GEMM packs 4- or 8-bit codes, not {}-bit",
+            wq.n
+        );
+        for (layer, params) in self.layers.iter_mut().zip(&wq.params) {
+            let shape = layer.weight.shape();
+            let (k, n_cols) = (shape[0], shape[1]);
+            let w = layer.weight.data();
+            let (table, codes, decode): (Vec<f32>, Vec<u32>, PackedDecode) = match *params {
+                PlanParams::AdaptivFloat { exp_bias } => {
+                    // Same field split FormatKind::build uses.
+                    let e = 3.min(wq.n - 1);
+                    let af = AdaptivFloat::new(wq.n, e).expect("paper field split");
+                    let ap = AdaptivParams {
+                        n: wq.n,
+                        e,
+                        exp_bias,
+                    };
+                    let table = (0..1u32 << wq.n).map(|c| af.decode_with(&ap, c)).collect();
+                    let codes = w.iter().map(|&v| af.encode_with(&ap, v)).collect();
+                    (
+                        table,
+                        codes,
+                        PackedDecode::AdaptivFloat {
+                            m: wq.n - e - 1,
+                            exp_bias,
+                        },
+                    )
+                }
+                PlanParams::Uniform { scale } => {
+                    let uni = Uniform::new(wq.n).expect("valid word size");
+                    let table = (0..1u32 << wq.n)
+                        .map(|c| uni.decode_code(scale, c))
+                        .collect();
+                    let codes = w.iter().map(|&v| uni.encode_code(scale, v)).collect();
+                    (table, codes, PackedDecode::Uniform { scale })
+                }
+                other => panic!("weight plan params {other:?} do not match the recipe format"),
+            };
+            // The bit-identity keystone: every packed code must decode to
+            // exactly the f32 the dense path serves.
+            for (i, (&v, &c)) in w.iter().zip(&codes).enumerate() {
+                assert_eq!(
+                    table[c as usize].to_bits(),
+                    v.to_bits(),
+                    "weight {i} re-encode mismatch: {v} -> code {c} -> {}",
+                    table[c as usize]
+                );
+            }
+            layer.packed = Some(PackedGemm::build(k, n_cols, wq.n, &codes, table, decode));
+        }
+        self
+    }
+
+    /// How many layers run the fused quantized-domain GEMM.
+    pub fn fused_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.packed.is_some()).count()
+    }
+
+    /// Bytes of weight storage the batched path streams per request:
+    /// packed code bytes for fused layers, `4 · k · n` f32 bytes for
+    /// dense ones (biases excluded — both paths read them identically).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match &l.packed {
+                Some(pg) => pg.packed_bytes(),
+                None => 4 * l.weight.len(),
+            })
+            .sum()
     }
 
     /// Install calibrated activation quantization: run `calib` (a
@@ -293,6 +426,7 @@ impl FrozenMlp {
                 FrozenLayer {
                     weight: Tensor::from_vec(w, &shape),
                     bias: l.bias,
+                    packed: None,
                 }
             })
             .collect();
@@ -301,6 +435,9 @@ impl FrozenMlp {
             format: format.to_string(),
             layers,
             act: self.act,
+            // Externally-decoded weights carry no encoding recipe, so a
+            // later with_fused_gemm must (and does) refuse them.
+            weight_quant: None,
         }
     }
 
@@ -402,7 +539,8 @@ impl FrozenMlp {
         assert_eq!(inputs.len(), rows * self.in_dim(), "input width mismatch");
         let last = self.layers.len() - 1;
         scratch.reserve(self.scratch_len(rows));
-        let (mut cur, mut nxt) = (&mut scratch.a, &mut scratch.b);
+        let BatchScratch { a, b, packed } = scratch;
+        let (mut cur, mut nxt) = (a, b);
         let mut width = self.in_dim();
         cur[..rows * width].copy_from_slice(inputs);
         for (l, layer) in self.layers.iter().enumerate() {
@@ -410,13 +548,21 @@ impl FrozenMlp {
             if let Some(act) = &self.act {
                 act.plans[l].execute_in_place(&mut cur[..rows * width]);
             }
-            Tensor::matmul_slice_into(
-                &cur[..rows * width],
-                rows,
-                width,
-                &layer.weight,
-                &mut nxt[..rows * out_w],
-            );
+            match &layer.packed {
+                // Fused path: decode packed codes inside the kernel —
+                // bit-identical to the dense matmul below (pinned by
+                // tests/fused_gemm.rs), reading width/8 of the bytes.
+                Some(pg) => {
+                    pg.matmul_into(&cur[..rows * width], rows, &mut nxt[..rows * out_w], packed)
+                }
+                None => Tensor::matmul_slice_into(
+                    &cur[..rows * width],
+                    rows,
+                    width,
+                    &layer.weight,
+                    &mut nxt[..rows * out_w],
+                ),
+            }
             for row in nxt[..rows * out_w].chunks_mut(out_w) {
                 for (o, &b) in row.iter_mut().zip(layer.bias.data()) {
                     *o += b;
@@ -443,6 +589,9 @@ impl FrozenMlp {
 pub struct BatchScratch {
     a: Vec<f32>,
     b: Vec<f32>,
+    /// Decode tile for fused packed-GEMM layers (unused — and unsized —
+    /// on dense-only models).
+    packed: PackedGemmScratch,
 }
 
 impl BatchScratch {

@@ -327,7 +327,8 @@ impl Engine {
                         "{{\"id\":\"{}\",\"family\":\"{}\",\"weight_format\":\"{}\",\
                          \"act_format\":{},\"in_dim\":{},\"out_dim\":{},\"params\":{},\
                          \"generation\":{},\"warmed_codebooks\":{},\"plans_built\":{},\
-                         \"plan_cache_hits\":{},\"protected\":{},\"queue_depth\":{}}}",
+                         \"plan_cache_hits\":{},\"protected\":{},\"fused_gemm\":{},\
+                         \"fused_layers\":{},\"weight_bytes\":{},\"queue_depth\":{}}}",
                         v.id,
                         v.model.family().label(),
                         v.model.format_name(),
@@ -340,6 +341,9 @@ impl Engine {
                         v.plans_built,
                         v.plan_cache_hits,
                         protection,
+                        v.model.fused_layers() > 0,
+                        v.model.fused_layers(),
+                        v.model.weight_bytes(),
                         depth,
                     ));
                 }
@@ -659,6 +663,9 @@ mod tests {
         assert!(json.contains("\"weight_format\":\"AdaptivFloat<8,3>\""));
         assert!(json.contains("\"queue_depth\":0"));
         assert!(json.contains("\"protected\":false"));
+        assert!(json.contains("\"fused_gemm\":false"));
+        assert!(json.contains("\"fused_layers\":0"));
+        assert!(json.contains("\"weight_bytes\":"));
         assert!(json.contains("\"worker_restarts\":0"));
         // The quantized variant froze 2 weight + 2 activation plans; the
         // fp32 variant froze none.

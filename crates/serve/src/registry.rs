@@ -38,6 +38,14 @@ pub struct VariantSpec {
     /// single-bit upsets in place, and uncorrectable errors trigger a
     /// rebuild from the retained f32 master plus a hot swap.
     pub protected: bool,
+    /// Whether the variant serves batches through the fused
+    /// quantized-domain GEMM (packed weight codes decoded inside the
+    /// matmul kernel — bit-identical answers, `n/8` of the weight
+    /// traffic). Requires an AdaptivFloat or Uniform `weight_format` at
+    /// `n ∈ {4, 8}`, and is mutually exclusive with `protected` (whose
+    /// snapshots are rebuilt from decoded storage and so carry no
+    /// encoding recipe).
+    pub fused: bool,
 }
 
 impl VariantSpec {
@@ -51,6 +59,7 @@ impl VariantSpec {
             weight_format: None,
             act_format: None,
             protected: false,
+            fused: false,
         }
     }
 
@@ -72,6 +81,7 @@ impl VariantSpec {
             weight_format: Some((kind, n)),
             act_format: Some((kind, n)),
             protected: false,
+            fused: false,
         }
     }
 
@@ -83,6 +93,20 @@ impl VariantSpec {
     /// format — there are no stored codes to protect under FP32.
     pub fn protected(mut self) -> VariantSpec {
         self.protected = true;
+        self
+    }
+
+    /// Serve this variant's batches through the fused quantized-domain
+    /// GEMM (packed weight codes, decoded inside the matmul kernel).
+    ///
+    /// # Panics
+    ///
+    /// [`ModelRegistry::register`] panics if the spec is also
+    /// `protected`, has no weight format, or its format/word size is
+    /// outside what the packed kernel supports (AdaptivFloat or
+    /// Uniform at `n ∈ {4, 8}`).
+    pub fn fused(mut self) -> VariantSpec {
+        self.fused = true;
         self
     }
 }
@@ -180,6 +204,17 @@ impl ModelRegistry {
         } else if let Some((kind, n)) = spec.weight_format {
             model = model.quantize_weights(kind, n)?;
             plans_built += model.depth();
+        }
+        if spec.fused {
+            assert!(
+                !spec.protected,
+                "fused GEMM and protected storage are mutually exclusive \
+                 (protected snapshots rebuild from decoded storage)"
+            );
+            // Panics with a precise message if the weight format is
+            // missing or unsupported — registration is the build step,
+            // so a bad spec should fail loudly here, not at serve time.
+            model = model.with_fused_gemm();
         }
         if let Some((kind, n)) = spec.act_format {
             let calib = FrozenMlp::synth_inputs(spec.seed ^ 0xCA11_B8A7, CALIB_ROWS, spec.dims[0]);

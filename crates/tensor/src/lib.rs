@@ -24,8 +24,10 @@
 
 pub mod conv;
 pub mod init;
+pub mod packed;
 pub mod tensor;
 
 pub use conv::{col2im, conv2d_output_size, im2col, Conv2dSpec};
 pub use init::{kaiming_uniform, randn, uniform, xavier_uniform};
+pub use packed::{PackedDecode, PackedGemm, PackedGemmScratch};
 pub use tensor::Tensor;

@@ -5,11 +5,12 @@ use std::fmt;
 
 /// Depth-tile size for the blocked matmul kernel: one `KC × NC` tile of
 /// the right-hand matrix (256 KiB) stays L2-resident while every row of
-/// the left block streams against it.
-const KC: usize = 128;
+/// the left block streams against it. Shared with the packed-weight
+/// kernel in [`crate::packed`] so both walk tiles in the same order.
+pub(crate) const KC: usize = 128;
 /// Column-tile size: one output-row tile (`NC` f32, 2 KiB) stays in L1
 /// across the whole depth tile.
-const NC: usize = 512;
+pub(crate) const NC: usize = 512;
 /// Products below this many multiply-accumulates run serially — thread
 /// spawn cost dominates under ~2ⁱ⁸ MACs (≈ a 64³ matmul).
 const PAR_MIN_MACS: usize = 1 << 18;
@@ -43,9 +44,9 @@ fn matmul_rows_kernel(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize,
                 let out_row = &mut out_rows[i * n + j0..i * n + j1];
                 for (p, &a) in a_row.iter().enumerate() {
                     let b_row = &b[(k0 + p) * n + j0..(k0 + p) * n + j1];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += a * bv;
-                    }
+                    // Vector-dispatched `out += a · b_row` (multiply then
+                    // add per lane — bit-identical to the scalar loop).
+                    adaptivfloat::simd::axpy(a, b_row, out_row);
                 }
             }
             j0 = j1;

@@ -59,10 +59,32 @@ fast = median_ns(t1, "adaptivfloat_1m/fast/8")
 ref = median_ns(t1, "adaptivfloat_1m/reference/8")
 speedup = round(ref / fast, 2) if fast and ref else None
 
+def ratio(records, name_slow, name_fast):
+    slow, fast = median_ns(records, name_slow), median_ns(records, name_fast)
+    return round(slow / fast, 2) if slow and fast else None
+
+# SIMD-vs-scalar rows from the single-thread run: dispatcher leg is the
+# only variable (same plan, same backend, one thread).
+simd_speedup_quantize_af8 = ratio(
+    t1, "simd_vs_scalar/quantize_adaptivfloat8/scalar",
+    "simd_vs_scalar/quantize_adaptivfloat8/simd")
+simd_speedup_lut_posit8 = ratio(
+    t1, "simd_vs_scalar/quantize_posit8_lut/scalar",
+    "simd_vs_scalar/quantize_posit8_lut/simd")
+simd_speedup_scan = ratio(
+    t1, "simd_vs_scalar/scan_abs/scalar", "simd_vs_scalar/scan_abs/simd")
+fused_vs_dequantize_gemm = ratio(
+    t1, "packed_gemm/dequantize_dense/8x512x1024",
+    "packed_gemm/fused/8x512x1024")
+
 snapshot = {
     "commit": os.environ["COMMIT"],
     "host_threads": int(os.environ["HOST_THREADS"]),
     "single_thread_speedup_adaptivfloat8_1m": speedup,
+    "simd_speedup_quantize_af8": simd_speedup_quantize_af8,
+    "simd_speedup_lut_posit8": simd_speedup_lut_posit8,
+    "simd_speedup_scan_abs": simd_speedup_scan,
+    "fused_vs_dequantize_gemm_8x512x1024": fused_vs_dequantize_gemm,
     "runs": [
         {"threads": 1, "benches": t1},
         {"threads": int(os.environ["HOST_THREADS"]), "benches": allt},
@@ -75,6 +97,10 @@ with open(out, "w") as f:
 print(f"wrote {out} ({len(t1)} + {len(allt)} bench records)")
 if speedup is not None:
     print(f"single-thread fast vs reference (AdaptivFloat<8,3>, 1M elems): {speedup}x")
+if simd_speedup_quantize_af8 is not None:
+    print(f"SIMD vs scalar quantize (AdaptivFloat<8,3>, 64K): {simd_speedup_quantize_af8}x")
+if fused_vs_dequantize_gemm is not None:
+    print(f"fused vs dequantize+GEMM (8x512x1024): {fused_vs_dequantize_gemm}x")
 PY
 
 echo
@@ -123,7 +149,10 @@ fi
 
 echo
 echo "== stamping provenance metadata into BENCH_*.json =="
-COMMIT="$COMMIT" HOST_THREADS="$HOST_THREADS" \
+# Every snapshot records which vector ISA produced it: numbers from an
+# AVX2 host and a forced-scalar run are not comparable.
+SIMD_JSON="$(cargo run --release -q -p af-bench --bin simd_report)"
+COMMIT="$COMMIT" HOST_THREADS="$HOST_THREADS" SIMD_JSON="$SIMD_JSON" \
 AF_THREADS="${AF_NUM_THREADS:-}" python3 - <<'PY'
 import glob, json, os
 
@@ -132,12 +161,14 @@ meta = {
     "af_num_threads": os.environ["AF_THREADS"] or "default",
     "host_parallelism": int(os.environ["HOST_THREADS"]),
 }
+simd = json.loads(os.environ["SIMD_JSON"])
 for path in sorted(glob.glob("BENCH_*.json")):
     with open(path) as f:
         doc = json.load(f)
     doc["meta"] = meta
+    doc["simd"] = simd
     with open(path, "w") as f:
         json.dump(doc, f, indent=1)
         f.write("\n")
-    print(f"stamped {path}")
+    print(f"stamped {path} (isa={simd['isa']})")
 PY

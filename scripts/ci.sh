@@ -44,6 +44,18 @@ AF_NUM_THREADS=1 cargo test -q --test serve_e2e
 # runtime is forced serial (panic propagation takes the serial path).
 AF_NUM_THREADS=1 cargo test -q --test serve_selfheal_e2e
 
+echo "== bit-identity under AF_FORCE_SCALAR=1 =="
+# Every SIMD path must be bit-identical to its scalar twin, and every
+# consumer result must be independent of which leg the dispatcher picks.
+# Run the pinning suites on both legs: the default run above covered the
+# vector leg; this one forces the scalar fallbacks.
+AF_FORCE_SCALAR=1 cargo test -q -p adaptivfloat --test simd_bitexact
+AF_FORCE_SCALAR=1 cargo test -q -p adaptivfloat --test kernel_bit_exact
+AF_FORCE_SCALAR=1 cargo test -q -p adaptivfloat --test plan_matches_backends
+AF_FORCE_SCALAR=1 cargo test -q -p af-tensor --test packed_gemm
+AF_FORCE_SCALAR=1 cargo test -q -p af-models --test fused_gemm
+AF_FORCE_SCALAR=1 cargo test -q --test serve_e2e
+
 echo "== fault_sweep smoke (--quick) =="
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -91,7 +103,22 @@ assert doc["cells"], "no serving cells"
 for c in doc["cells"]:
     assert c["completed"] > 0, c
     assert c["p50_us"] <= c["p95_us"] <= c["p99_us"], c
-print(f"ok: {len(doc['cells'])} serving cells")
+# The fused packed-GEMM comparison pair must be present, and the fused
+# twin must actually stream packed weight bytes (< its dense twin).
+fused = [c for c in doc["cells"] if c["fused"]]
+assert fused, "no fused-GEMM cells in quick serving run"
+for f in fused:
+    dense = [
+        c for c in doc["cells"]
+        if not c["fused"] and c["weight_format"] == f["weight_format"]
+        and c["max_batch"] == f["max_batch"]
+    ]
+    assert dense, f"no dense twin for {f['variant']}"
+    assert f["weight_bytes"] * 3 < dense[0]["weight_bytes"], (
+        f"fused weight bytes not reduced: {f['weight_bytes']} vs "
+        f"{dense[0]['weight_bytes']}"
+    )
+print(f"ok: {len(doc['cells'])} serving cells ({len(fused)} fused)")
 PY
 
 echo "CI green."

@@ -44,6 +44,20 @@ fn registry() -> Arc<ModelRegistry> {
         &[24, 32, 8],
     ))
     .unwrap();
+    // Same weights as transformer/adaptivfloat8, served through the
+    // fused quantized-domain GEMM — answers must stay bit-identical.
+    reg.register(
+        &VariantSpec::quantized(
+            "transformer/adaptivfloat8-fused",
+            ModelFamily::Transformer,
+            FormatKind::AdaptivFloat,
+            8,
+            40,
+            &[24, 48, 12],
+        )
+        .fused(),
+    )
+    .unwrap();
     Arc::new(reg)
 }
 
@@ -66,6 +80,7 @@ fn concurrent_tcp_requests_are_bit_identical_to_direct_evaluation() {
         "transformer/fp32",
         "transformer/adaptivfloat8",
         "resnet/posit6",
+        "transformer/adaptivfloat8-fused",
     ];
     let handles: Vec<_> = (0..12u64)
         .map(|t| {
@@ -173,6 +188,10 @@ fn health_stats_and_protocol_errors() {
     assert!(stats.contains("\"completed\":"));
     assert!(stats.contains("\"id\":\"transformer/adaptivfloat8\""));
     assert!(stats.contains("\"weight_format\":\"AdaptivFloat<8,3>\""));
+    // The fused variant reports its packed-GEMM path (2 fused layers).
+    assert!(stats.contains("\"id\":\"transformer/adaptivfloat8-fused\""));
+    assert!(stats.contains("\"fused_gemm\":true,\"fused_layers\":2"));
+    assert!(stats.contains("\"fused_gemm\":false"));
     server.shutdown();
 }
 
