@@ -22,6 +22,17 @@ fn main() {
         af_bench::serving::run(quick)
     };
     println!("{}", serving.rendered);
+    if let Some(s) = &serving.store {
+        println!(
+            "\ndurable store: {} variants, cold register {} us, \
+             warm open (wal) {} us, warm open (checkpoint) {} us, bit-identical: {}",
+            s.variants,
+            s.cold_register_us,
+            s.warm_open_wal_us,
+            s.warm_open_ckpt_us,
+            s.bit_identical
+        );
+    }
     std::fs::write(&out, &serving.json).expect("write BENCH_serving.json");
     println!("\nwrote {out} ({} cells)", serving.cells.len());
 }

@@ -1,0 +1,137 @@
+//! Crash-recovery smoke driver for `scripts/ci.sh`: a tiny serving
+//! process backed by the durable store, plus a probe that records what
+//! it answers.
+//!
+//! ```text
+//! store_crash serve --root DIR --ready-file PATH   # until killed
+//! store_crash probe --addr HOST:PORT --out PATH    # bits + stats
+//! ```
+//!
+//! `serve` opens (or recovers) the store at `--root`, registers the
+//! three serving modes on a fresh store (FP32, SEC-DED protected, fused
+//! GEMM), starts a TCP server on an ephemeral port, writes the address
+//! to `--ready-file`, and parks until killed — `kill -9` is the point.
+//! `probe` sends a fixed set of deterministic inputs to every variant
+//! and writes one `variant row hexbits…` line each to `--out`, then
+//! prints the server's `/stats` JSON to stdout. The harness diffs the
+//! probe files from before and after the kill: they must be
+//! byte-identical.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptivfloat::FormatKind;
+use af_models::{FrozenMlp, ModelFamily};
+use af_serve::{Client, DurableStore, Engine, EngineConfig, Server, VariantSpec};
+use af_store::SyncPolicy;
+
+const DIMS: [usize; 3] = [24, 48, 12];
+const SEED: u64 = 0xC4A5_4001;
+const VARIANTS: [&str; 3] = ["crash/fp32", "crash/protected", "crash/fused"];
+const PROBE_ROWS: usize = 4;
+const PROBE_SEED: u64 = 777;
+
+fn specs() -> Vec<VariantSpec> {
+    vec![
+        VariantSpec::fp32(VARIANTS[0], ModelFamily::ResNet, SEED, &DIMS),
+        VariantSpec::quantized(
+            VARIANTS[1],
+            ModelFamily::ResNet,
+            FormatKind::AdaptivFloat,
+            8,
+            SEED,
+            &DIMS,
+        )
+        .protected(),
+        VariantSpec::quantized(
+            VARIANTS[2],
+            ModelFamily::Transformer,
+            FormatKind::AdaptivFloat,
+            8,
+            SEED ^ 1,
+            &DIMS,
+        )
+        .fused(),
+    ]
+}
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn serve(args: &[String]) {
+    let root = arg(args, "--root").expect("serve needs --root DIR");
+    let ready = arg(args, "--ready-file").expect("serve needs --ready-file PATH");
+    let opened = DurableStore::open(root.as_ref(), SyncPolicy::EveryRecord, 0)
+        .unwrap_or_else(|e| panic!("store open failed ({}): {e}", e.kind()));
+    eprintln!(
+        "store_crash: recovered {} variants ({} WAL records, {} torn bytes, {} us)",
+        opened.report.recovered_variants,
+        opened.report.wal_records_replayed,
+        opened.report.torn_tail_bytes_dropped,
+        opened.report.recovery_us,
+    );
+    if opened.registry.is_empty() {
+        for spec in specs() {
+            opened.registry.register(&spec).expect("register variant");
+        }
+        eprintln!(
+            "store_crash: fresh store, registered {} variants",
+            VARIANTS.len()
+        );
+    }
+    let engine = Arc::new(Engine::start(
+        Arc::clone(&opened.registry),
+        EngineConfig::default(),
+    ));
+    engine.attach_store(Arc::clone(&opened.store));
+    let server = Server::bind("127.0.0.1:0", engine).expect("bind server");
+    // Written last: the harness polls this file to know the port.
+    std::fs::write(&ready, format!("{}\n", server.addr())).expect("write ready file");
+    eprintln!("store_crash: serving on {}", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn probe(args: &[String]) {
+    let addr = arg(args, "--addr").expect("probe needs --addr HOST:PORT");
+    let out = arg(args, "--out").expect("probe needs --out PATH");
+    let addr: std::net::SocketAddr = addr.trim().parse().expect("parse server address");
+    let mut client = Client::connect(addr).expect("connect to server");
+    let inputs = FrozenMlp::synth_inputs(PROBE_SEED, PROBE_ROWS, DIMS[0]);
+    let mut lines = String::new();
+    for variant in VARIANTS {
+        for r in 0..PROBE_ROWS {
+            let y = client
+                .infer(variant, inputs.row(r))
+                .unwrap_or_else(|e| panic!("probe {variant} row {r} failed: {e}"));
+            lines.push_str(&format!("{variant} {r}"));
+            for v in &y {
+                lines.push_str(&format!(" {:08x}", v.to_bits()));
+            }
+            lines.push('\n');
+        }
+    }
+    std::fs::write(&out, &lines).expect("write probe file");
+    // Stats go to stdout for the harness's store-counter assertions.
+    print!("{}", client.stats_json().expect("fetch /stats"));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => serve(&args),
+        Some("probe") => probe(&args),
+        _ => {
+            eprintln!(
+                "usage: store_crash serve --root DIR --ready-file PATH\n\
+                 \x20      store_crash probe --addr HOST:PORT --out PATH"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -18,7 +18,10 @@ use std::time::{Duration, Instant};
 
 use adaptivfloat::FormatKind;
 use af_models::{FrozenMlp, ModelFamily};
-use af_serve::{Client, ClientError, Engine, EngineConfig, ModelRegistry, Server, VariantSpec};
+use af_serve::{
+    Client, ClientError, DurableStore, Engine, EngineConfig, ModelRegistry, Server, VariantSpec,
+};
+use af_store::SyncPolicy;
 
 use crate::render::TextTable;
 
@@ -71,11 +74,33 @@ pub struct ServeCell {
     pub weight_bytes: usize,
 }
 
+/// Durable-store timing: what a restart costs compared to quantizing
+/// every variant from the f32 master again.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreBench {
+    /// Variants measured.
+    pub variants: usize,
+    /// Registering every variant into a fresh durable store (PTQ,
+    /// calibration, codebook builds, container writes), microseconds.
+    pub cold_register_us: u64,
+    /// Reopening the store from its WAL + live containers (the
+    /// `kill -9` recovery path), microseconds.
+    pub warm_open_wal_us: u64,
+    /// Reopening after a checkpoint folded the WAL, microseconds.
+    pub warm_open_ckpt_us: u64,
+    /// Whether every recovered variant answered bit-identically to its
+    /// pre-restart snapshot (the run panics otherwise; recorded for the
+    /// JSON consumer).
+    pub bit_identical: bool,
+}
+
 /// Load-test output: cells, the JSON document, and a rendered table.
 #[derive(Debug, Clone)]
 pub struct Serving {
     /// One cell per variant × batch configuration.
     pub cells: Vec<ServeCell>,
+    /// Durable-store restart timing (`None` in `--packed` mode).
+    pub store: Option<StoreBench>,
     /// `BENCH_serving.json` contents.
     pub json: String,
     /// Rendered text table.
@@ -238,6 +263,78 @@ fn drive(
     (latencies, shed)
 }
 
+/// Measure durable-store restart cost against cold registration: build
+/// the quick variant set into a fresh store, then reopen it from the
+/// WAL and again from a checkpoint, checking bit-identity both times.
+///
+/// # Panics
+///
+/// Panics on store errors or if any recovered variant's outputs differ
+/// from its pre-restart snapshot.
+pub fn measure_store(quick: bool) -> StoreBench {
+    let specs = variant_specs(quick);
+    let root = std::env::temp_dir().join(format!("af-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let inputs = FrozenMlp::synth_inputs(41, 1, DIMS[0]);
+    let bits = |m: &af_models::FrozenMlp| -> Vec<u32> {
+        m.evaluate(inputs.row(0))
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    };
+
+    // Cold path: quantize every variant from its f32 master and persist.
+    let t0 = Instant::now();
+    let opened = DurableStore::open(&root, SyncPolicy::EveryRecord, 0).expect("open store");
+    for spec in &specs {
+        if spec.dims == WIDE_DIMS {
+            continue; // same in_dim needed for the shared probe input
+        }
+        opened.registry.register(spec).expect("register variant");
+    }
+    let cold_register_us = t0.elapsed().as_micros() as u64;
+    let variants = opened.registry.len();
+    let want: Vec<(String, Vec<u32>)> = opened
+        .registry
+        .ids()
+        .iter()
+        .map(|id| (id.clone(), bits(&opened.registry.get(id).unwrap().model)))
+        .collect();
+    drop(opened);
+
+    let verify = |opened: &af_serve::DurableOpen| {
+        assert_eq!(opened.registry.len(), variants);
+        for (id, row) in &want {
+            let v = opened.registry.get(id).expect("recovered variant");
+            assert_eq!(&bits(&v.model), row, "{id} must recover bit-identically");
+        }
+    };
+
+    // Warm path 1: recover from the WAL + live containers (kill -9).
+    let t1 = Instant::now();
+    let opened = DurableStore::open(&root, SyncPolicy::EveryRecord, 0).expect("reopen store");
+    let warm_open_wal_us = t1.elapsed().as_micros() as u64;
+    verify(&opened);
+
+    // Warm path 2: recover from a folded checkpoint.
+    opened.store.checkpoint().expect("checkpoint");
+    drop(opened);
+    let t2 = Instant::now();
+    let opened = DurableStore::open(&root, SyncPolicy::EveryRecord, 0).expect("reopen checkpoint");
+    let warm_open_ckpt_us = t2.elapsed().as_micros() as u64;
+    verify(&opened);
+    drop(opened);
+    let _ = std::fs::remove_dir_all(&root);
+
+    StoreBench {
+        variants,
+        cold_register_us,
+        warm_open_wal_us,
+        warm_open_ckpt_us,
+        bit_identical: true,
+    }
+}
+
 /// Run the serving load test. `quick` trims the variant set, batch
 /// configurations, and request counts for CI.
 ///
@@ -247,7 +344,8 @@ fn drive(
 /// `127.0.0.1:0`, or a served response is not bit-identical to direct
 /// evaluation.
 pub fn run(quick: bool) -> Serving {
-    run_with_specs(quick, variant_specs(quick))
+    let store = measure_store(quick);
+    run_with_specs(quick, variant_specs(quick), Some(store))
 }
 
 /// The packed-weights comparison: only dequantize-vs-fused twins of the
@@ -260,10 +358,10 @@ pub fn run_packed(quick: bool) -> Serving {
             s.id.starts_with("transformer/adaptivfloat8") && !(quick && s.id.contains("wide"))
         })
         .collect();
-    run_with_specs(quick, specs)
+    run_with_specs(quick, specs, None)
 }
 
-fn run_with_specs(quick: bool, specs: Vec<VariantSpec>) -> Serving {
+fn run_with_specs(quick: bool, specs: Vec<VariantSpec>, store: Option<StoreBench>) -> Serving {
     let (connections, per_conn) = if quick { (4, 40) } else { (8, 200) };
     let registry = Arc::new(ModelRegistry::new());
     for spec in &specs {
@@ -322,16 +420,23 @@ fn run_with_specs(quick: bool, specs: Vec<VariantSpec>) -> Serving {
         }
     }
 
-    let json = render_json(quick, connections, per_conn, &cells);
+    let json = render_json(quick, connections, per_conn, &cells, store.as_ref());
     let rendered = render_table(&cells);
     Serving {
         cells,
+        store,
         json,
         rendered,
     }
 }
 
-fn render_json(quick: bool, connections: usize, per_conn: usize, cells: &[ServeCell]) -> String {
+fn render_json(
+    quick: bool,
+    connections: usize,
+    per_conn: usize,
+    cells: &[ServeCell],
+    store: Option<&StoreBench>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"serve_load\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
@@ -341,6 +446,18 @@ fn render_json(quick: bool, connections: usize, per_conn: usize, cells: &[ServeC
         "  \"model\": {{\"family\": \"Transformer\", \"dims\": {:?}, \"seed\": {}}},\n",
         DIMS, MODEL_SEED
     ));
+    if let Some(s) = store {
+        out.push_str(&format!(
+            "  \"store\": {{\"variants\": {}, \"cold_register_us\": {}, \
+             \"warm_open_wal_us\": {}, \"warm_open_ckpt_us\": {}, \
+             \"bit_identical\": {}}},\n",
+            s.variants,
+            s.cold_register_us,
+            s.warm_open_wal_us,
+            s.warm_open_ckpt_us,
+            s.bit_identical,
+        ));
+    }
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(

@@ -46,6 +46,27 @@ impl PackedCodes {
         }
     }
 
+    /// Reassemble a packer from a raw storage image — the inverse of
+    /// reading [`width`](Self::width)/[`len`](Self::len)/
+    /// [`words`](Self::words), used when codes come back from disk.
+    ///
+    /// Returns `None` (never panics) if the geometry is inconsistent:
+    /// `width` outside `1..=64`, or `words.len()` not exactly the
+    /// `(len × width).div_ceil(64)` words that `len` codes occupy.
+    /// Padding bits past the last code are accepted as-is so a stored
+    /// image (which may carry fault-flipped padding under ECC) survives
+    /// a byte-exact roundtrip.
+    pub fn from_raw_parts(width: u32, len: usize, words: Vec<u64>) -> Option<Self> {
+        if !(1..=64).contains(&width) {
+            return None;
+        }
+        let expect = len.checked_mul(width as usize)?.div_ceil(64);
+        if words.len() != expect {
+            return None;
+        }
+        Some(PackedCodes { width, len, words })
+    }
+
     /// The code width in bits.
     pub fn width(&self) -> u32 {
         self.width
@@ -423,6 +444,23 @@ mod tests {
         // Undo through the same surface restores bit-identity.
         p.words_mut()[0] ^= 1 << 7;
         assert_eq!(p.iter().collect::<Vec<_>>(), before);
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_and_rejects_bad_geometry() {
+        let mut p = PackedCodes::new(5);
+        for i in 0..40u64 {
+            p.push(i.wrapping_mul(0x9E37_79B9) % 32);
+        }
+        let rebuilt = PackedCodes::from_raw_parts(p.width(), p.len(), p.words().to_vec()).unwrap();
+        assert_eq!(rebuilt, p);
+        // Wrong word count, zero width, oversized width: all rejected.
+        assert!(PackedCodes::from_raw_parts(5, 40, vec![0; 3]).is_none());
+        assert!(PackedCodes::from_raw_parts(5, 40, vec![0; 5]).is_none());
+        assert!(PackedCodes::from_raw_parts(0, 0, vec![]).is_none());
+        assert!(PackedCodes::from_raw_parts(65, 1, vec![0; 2]).is_none());
+        // usize overflow in len × width must not panic.
+        assert!(PackedCodes::from_raw_parts(64, usize::MAX, vec![]).is_none());
     }
 
     #[test]

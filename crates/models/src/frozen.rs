@@ -70,6 +70,14 @@ struct ActQuant {
     /// time from the layer input's abs-max; execution never re-derives
     /// parameters or touches the codebook cache.
     plans: Vec<QuantPlan>,
+    /// The format geometry the plans were built through — the portable
+    /// half of the recipe a durable store persists.
+    kind: FormatKind,
+    n: u32,
+    /// The frozen per-layer abs-max ranges. Re-planning from these via
+    /// [`FrozenMlp::with_act_quant_frozen`] reproduces the plans
+    /// bit-identically without rerunning the calibration forward pass.
+    maxes: Vec<f32>,
 }
 
 /// An immutable feed-forward inference snapshot (ReLU MLP).
@@ -311,12 +319,11 @@ impl FrozenMlp {
     /// Returns [`FormatError::InvalidBits`] if the format cannot be
     /// built at `n`.
     pub fn with_act_quant(
-        mut self,
+        self,
         kind: FormatKind,
         n: u32,
         calib: &Tensor,
     ) -> Result<FrozenMlp, FormatError> {
-        let fmt = kind.build(n)?;
         let last = self.layers.len() - 1;
         let mut max = Vec::with_capacity(self.layers.len());
         let mut x = calib.clone();
@@ -327,15 +334,71 @@ impl FrozenMlp {
                 x = x.map(|v| v.max(0.0));
             }
         }
+        self.with_act_quant_frozen(kind, n, &max)
+    }
+
+    /// Install activation quantization from already-frozen per-layer
+    /// ranges — the warm-start path a durable store uses on recovery.
+    /// Builds exactly the plans [`with_act_quant`](Self::with_act_quant)
+    /// would have built from the same ranges (same
+    /// `QuantStats::calibrated` construction), skipping only the
+    /// calibration forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if the format cannot be
+    /// built at `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maxes.len()` differs from the layer count.
+    pub fn with_act_quant_frozen(
+        mut self,
+        kind: FormatKind,
+        n: u32,
+        maxes: &[f32],
+    ) -> Result<FrozenMlp, FormatError> {
+        assert_eq!(
+            maxes.len(),
+            self.layers.len(),
+            "one calibrated range per layer"
+        );
+        let fmt = kind.build(n)?;
         // Freeze one plan per layer now; every later evaluate call just
         // executes it (and any LUT codebook it needs is resolved here,
         // so the serving hot path never takes the cache lock).
-        let plans = max
+        let plans = maxes
             .iter()
             .map(|&m| fmt.plan(&QuantStats::calibrated(m)))
             .collect();
-        self.act = Some(ActQuant { format: fmt, plans });
+        self.act = Some(ActQuant {
+            format: fmt,
+            plans,
+            kind,
+            n,
+            maxes: maxes.to_vec(),
+        });
         Ok(self)
+    }
+
+    /// The frozen activation-quantization recipe: format kind, word
+    /// size, and the calibrated per-layer ranges. `None` until
+    /// [`with_act_quant`](Self::with_act_quant) runs. Persisting this
+    /// and replaying it through
+    /// [`with_act_quant_frozen`](Self::with_act_quant_frozen) restores
+    /// activation quantization without recalibrating.
+    pub fn act_recipe(&self) -> Option<(FormatKind, u32, &[f32])> {
+        self.act.as_ref().map(|a| (a.kind, a.n, a.maxes.as_slice()))
+    }
+
+    /// The weight-quantization recipe recorded by
+    /// [`quantize_weights`](Self::quantize_weights): format kind, word
+    /// size, and each layer's frozen per-tensor parameters. `None` for
+    /// FP32 or externally-swapped weights.
+    pub fn weight_quant_recipe(&self) -> Option<(FormatKind, u32, &[PlanParams])> {
+        self.weight_quant
+            .as_ref()
+            .map(|wq| (wq.kind, wq.n, wq.params.as_slice()))
     }
 
     /// Pre-build the LUT codebooks the activation-quantization path will
@@ -439,6 +502,41 @@ impl FrozenMlp {
             // later with_fused_gemm must (and does) refuse them.
             weight_quant: None,
         }
+    }
+
+    /// Replace every weight matrix with externally-supplied
+    /// already-quantized values *and* reinstate the encoding recipe that
+    /// produced them — the warm-start counterpart of
+    /// [`quantize_weights`](Self::quantize_weights). Because the recipe
+    /// survives, [`with_fused_gemm`](Self::with_fused_gemm) works on the
+    /// restored snapshot (its exact re-encode check still verifies every
+    /// weight against the recipe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if activation quantization is already installed, or if the
+    /// layer count, any layer's element count, or the params count
+    /// mismatches.
+    pub fn with_quantized_weights(
+        self,
+        kind: FormatKind,
+        n: u32,
+        params: &[PlanParams],
+        weights: Vec<Vec<f32>>,
+        format: &str,
+    ) -> FrozenMlp {
+        assert_eq!(
+            params.len(),
+            self.layers.len(),
+            "one frozen params record per layer"
+        );
+        let mut restored = self.with_weight_data(weights, format);
+        restored.weight_quant = Some(WeightQuant {
+            kind,
+            n,
+            params: params.to_vec(),
+        });
+        restored
     }
 
     /// Total scalar parameter count (weights + biases).

@@ -26,6 +26,17 @@ impl ModelFamily {
         }
     }
 
+    /// Parse a [`label`](Self::label) back to its family — the inverse
+    /// a durable store needs when rebuilding a variant from disk.
+    pub fn from_label(label: &str) -> Option<ModelFamily> {
+        Some(match label {
+            "Transformer" => ModelFamily::Transformer,
+            "Seq2Seq" => ModelFamily::Seq2Seq,
+            "ResNet" => ModelFamily::ResNet,
+            _ => return None,
+        })
+    }
+
     /// The metric the paper reports for this family.
     pub fn metric(self) -> &'static str {
         match self {

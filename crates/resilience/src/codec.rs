@@ -117,6 +117,104 @@ impl StorageCodec {
         })
     }
 
+    /// Reconstruct the codec for `kind` at word size `n` from frozen
+    /// [`PlanParams`] — the warm-start path: no tensor scan, no planner
+    /// run, just the side state a container stored. Produces a codec
+    /// bit-identical to the [`fit`](Self::fit) that froze the params.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidBits`] if `n` is invalid for the
+    /// kind's geometry or `params` is not the variant `kind` freezes
+    /// (e.g. a Uniform scale presented for an AdaptivFloat tensor).
+    pub fn from_params(kind: FormatKind, n: u32, params: PlanParams) -> Result<Self, FormatError> {
+        let mismatch = FormatError::InvalidBits {
+            n,
+            e: 0,
+            reason: "stored PlanParams variant does not match the format kind",
+        };
+        Ok(match kind {
+            FormatKind::AdaptivFloat => {
+                let PlanParams::AdaptivFloat { exp_bias } = params else {
+                    return Err(mismatch);
+                };
+                let fmt = AdaptivFloat::new(n, 3.min(n - 1))?;
+                let params = AdaptivParams {
+                    n: fmt.n(),
+                    e: fmt.e(),
+                    exp_bias,
+                };
+                StorageCodec::Adaptiv { fmt, params }
+            }
+            FormatKind::Float => {
+                let PlanParams::Static = params else {
+                    return Err(mismatch);
+                };
+                let e = if n <= 4 { 3 } else { 4 };
+                StorageCodec::Ieee {
+                    fmt: IeeeLikeFloat::new(n, e)?,
+                }
+            }
+            FormatKind::Posit => {
+                let PlanParams::Static = params else {
+                    return Err(mismatch);
+                };
+                let es = if n <= 4 { 0 } else { 1 };
+                StorageCodec::Posit {
+                    fmt: Posit::new(n, es)?,
+                }
+            }
+            FormatKind::Bfp => {
+                let PlanParams::Bfp { shared_exp } = params else {
+                    return Err(mismatch);
+                };
+                let fmt = BlockFloat::new(n)?;
+                let exp = shared_exp.unwrap_or_else(|| BlockFloat::shared_exponent(0.0));
+                StorageCodec::Bfp { fmt, exp }
+            }
+            FormatKind::Uniform => {
+                let PlanParams::Uniform { scale } = params else {
+                    return Err(mismatch);
+                };
+                StorageCodec::Uniform {
+                    fmt: Uniform::new(n)?,
+                    scale,
+                }
+            }
+        })
+    }
+
+    /// The frozen per-tensor side state as the portable [`PlanParams`]
+    /// record a container persists. Stateless codecs (IEEE, posit,
+    /// fixed) report [`PlanParams::Static`].
+    pub fn params(&self) -> PlanParams {
+        match self {
+            StorageCodec::Adaptiv { params, .. } => PlanParams::AdaptivFloat {
+                exp_bias: params.exp_bias,
+            },
+            StorageCodec::Ieee { .. } | StorageCodec::Posit { .. } | StorageCodec::Fixed { .. } => {
+                PlanParams::Static
+            }
+            StorageCodec::Bfp { exp, .. } => PlanParams::Bfp {
+                shared_exp: Some(*exp),
+            },
+            StorageCodec::Uniform { scale, .. } => PlanParams::Uniform { scale: *scale },
+        }
+    }
+
+    /// The [`FormatKind`] this codec implements, or `None` for the
+    /// fixed-point baseline (which is not part of the paper's sweep).
+    pub fn kind(&self) -> Option<FormatKind> {
+        match self {
+            StorageCodec::Adaptiv { .. } => Some(FormatKind::AdaptivFloat),
+            StorageCodec::Ieee { .. } => Some(FormatKind::Float),
+            StorageCodec::Posit { .. } => Some(FormatKind::Posit),
+            StorageCodec::Bfp { .. } => Some(FormatKind::Bfp),
+            StorageCodec::Uniform { .. } => Some(FormatKind::Uniform),
+            StorageCodec::Fixed { .. } => None,
+        }
+    }
+
     /// A fixed-point codec (not part of [`FormatKind::ALL`]; offered for
     /// baseline sweeps).
     ///
@@ -232,6 +330,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_params_rebuilds_a_bit_identical_codec() {
+        let data = sample_data();
+        for kind in FormatKind::ALL {
+            for n in [4u32, 8] {
+                let fitted = StorageCodec::fit(kind, n, &data).unwrap();
+                let rebuilt = StorageCodec::from_params(kind, n, fitted.params()).unwrap();
+                assert_eq!(rebuilt.kind(), Some(kind));
+                assert_eq!(rebuilt.width(), n);
+                // Same codes out, same values back — warm start must be
+                // indistinguishable from the original fit.
+                let a = fitted.encode_slice(&data);
+                let b = rebuilt.encode_slice(&data);
+                assert_eq!(a, b, "{kind} n={n}: encode must be bit-identical");
+                let (da, _) = fitted.decode_slice(&a, DecodePolicy::Harden);
+                let (db, _) = rebuilt.decode_slice(&b, DecodePolicy::Harden);
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&da), bits(&db), "{kind} n={n}: decode mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn from_params_rejects_mismatched_variants() {
+        // A Uniform scale presented as AdaptivFloat params must fail
+        // typed, not build a nonsense codec.
+        let err = StorageCodec::from_params(
+            FormatKind::AdaptivFloat,
+            8,
+            PlanParams::Uniform { scale: 0.25 },
+        );
+        assert!(err.is_err());
+        let err = StorageCodec::from_params(FormatKind::Float, 8, PlanParams::PerBlock);
+        assert!(err.is_err());
     }
 
     #[test]

@@ -43,6 +43,25 @@ impl ProtectedCodes {
         }
     }
 
+    /// Reassemble a protected store from its persisted image: the code
+    /// buffer, its parity bytes, and the cumulative health counters.
+    ///
+    /// Returns `None` (never panics) if `parity` does not hold exactly
+    /// one byte per raw storage word. The parity is taken as stored —
+    /// not recomputed — so faults that were on disk remain visible to
+    /// the next [`scrub`](Self::scrub), exactly as if the store had
+    /// stayed resident.
+    pub fn from_parts(data: PackedCodes, parity: Vec<u8>, stats: EccStats) -> Option<Self> {
+        if parity.len() != data.words().len() {
+            return None;
+        }
+        Some(ProtectedCodes {
+            data,
+            parity,
+            stats,
+        })
+    }
+
     /// Code width in bits (delegates to the protected buffer).
     pub fn width(&self) -> u32 {
         self.data.width()
@@ -88,6 +107,13 @@ impl ProtectedCodes {
     pub fn with_stats(mut self, stats: EccStats) -> Self {
         self.stats = stats;
         self
+    }
+
+    /// Fold additional counters into the cumulative history in place —
+    /// used when replaying journaled scrub outcomes onto a store image
+    /// read back from disk.
+    pub fn absorb_stats(&mut self, delta: &EccStats) {
+        self.stats.absorb(delta);
     }
 
     /// Total bytes of protected storage: packed codes plus parity.
@@ -274,6 +300,31 @@ mod tests {
         assert_eq!(report.corrected, 1);
         assert_eq!(prot.codes(), &corrupted, "store untouched by decode");
         assert_eq!(prot.stats(), EccStats::default(), "stats untouched too");
+    }
+
+    #[test]
+    fn from_parts_roundtrips_faults_and_stats() {
+        let mut prot = ProtectedCodes::protect(packed(7, 64));
+        prot.flip_raw_bit(2, 13); // a latent fault, still unrepaired
+        let stats_in = EccStats {
+            corrected: 5,
+            detected_uncorrectable: 1,
+            scrub_passes: 3,
+        };
+        let rebuilt =
+            ProtectedCodes::from_parts(prot.codes().clone(), prot.parity().to_vec(), stats_in)
+                .unwrap();
+        assert_eq!(rebuilt.codes(), prot.codes());
+        assert_eq!(rebuilt.parity(), prot.parity());
+        assert_eq!(rebuilt.stats(), stats_in);
+        // The latent fault survived the roundtrip and scrubs out.
+        let mut rebuilt = rebuilt;
+        let report = rebuilt.scrub();
+        assert_eq!(report.corrected, 1);
+        // Parity length mismatch is a typed rejection, not a panic.
+        assert!(
+            ProtectedCodes::from_parts(packed(7, 64), vec![0u8; 3], EccStats::default()).is_none()
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use af_models::BatchScratch;
 
+use crate::durable::DurableStore;
 use crate::queue::{BatchQueue, PushError};
 use crate::registry::ModelRegistry;
 use crate::scrub::{ScrubSummary, Scrubber};
@@ -141,6 +142,7 @@ pub struct Engine {
     stats: Arc<ServeStats>,
     stopping: AtomicBool,
     scrubber: Mutex<Option<Scrubber>>,
+    store: Mutex<Option<Arc<DurableStore>>>,
 }
 
 impl Engine {
@@ -195,7 +197,16 @@ impl Engine {
             stats,
             stopping: AtomicBool::new(false),
             scrubber: Mutex::new(scrubber),
+            store: Mutex::new(None),
         }
+    }
+
+    /// Attach the durable store behind this engine's registry so
+    /// `GET /stats` reports its counters (checkpoint version, WAL
+    /// length, recovery figures) under a `"store"` key. Attachment is
+    /// reporting-only: journaling is wired at the registry, not here.
+    pub fn attach_store(&self, store: Arc<DurableStore>) {
+        *self.store.lock().expect("store slot poisoned") = Some(store);
     }
 
     /// The registry this engine serves from.
@@ -350,15 +361,22 @@ impl Engine {
                 None => lanes.push_str(&format!("{{\"id\":\"{id}\",\"queue_depth\":{depth}}}")),
             }
         }
+        let store = self
+            .store
+            .lock()
+            .expect("store slot poisoned")
+            .as_ref()
+            .map_or("null".to_string(), |s| s.stats_json());
         format!(
             "{{{},\"plans_built\":{},\"plan_cache_hits\":{},\"max_batch\":{},\
-             \"max_wait_us\":{},\"queue_cap\":{},\"variants\":[{}]}}\n",
+             \"max_wait_us\":{},\"queue_cap\":{},\"store\":{},\"variants\":[{}]}}\n",
             self.stats.snapshot().json_fields(),
             plans_built,
             plan_cache_hits,
             self.cfg.max_batch,
             self.cfg.max_wait.as_micros(),
             self.cfg.queue_cap,
+            store,
             lanes,
         )
     }

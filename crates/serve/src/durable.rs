@@ -1,0 +1,534 @@
+//! Durable serving: the bridge between the in-memory
+//! [`ModelRegistry`] and the on-disk [`af_store::Store`].
+//!
+//! [`DurableStore::open`] replays the store (checkpoint + WAL fold) and
+//! republishes every recovered variant **without requantizing
+//! anything**: weights come from the persisted codes, activation plans
+//! from the persisted calibrated ranges, protected masters from the
+//! deterministic synthesis the registry would have run anyway. The
+//! restored snapshots are bit-identical to what the crashed process was
+//! serving. From then on the handle journals every registry mutation
+//! through the WAL ([`RegistryJournal`]) and folds the log into a fresh
+//! checkpoint when it outgrows a rotation threshold.
+//!
+//! Journal hooks never panic the serve path: persistence failures are
+//! counted ([`DurableStore::journal_errors`]) and reported through the
+//! stats endpoint instead.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+use af_models::{FrozenMlp, ModelFamily};
+use af_resilience::{ProtectedCodes, StorageCodec};
+use af_store::{
+    raw_f32_codes, ActRecord, LayerPayload, SpecRecord, Store, StoreError, StoredLayer,
+    StoredVariant, SyncPolicy,
+};
+
+use crate::protect::ProtectedWeights;
+use crate::registry::{ModelRegistry, ModelVariant, RegistryJournal, RestoredParts, ScrubOutcome};
+use crate::VariantSpec;
+
+/// Default WAL size that triggers an automatic fold into a fresh
+/// checkpoint (1 MiB — hundreds of scrub records).
+pub const DEFAULT_ROTATE_BYTES: u64 = 1 << 20;
+
+/// What recovery reconstructed, for operators and the stats endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Variants republished from disk.
+    pub recovered_variants: usize,
+    /// WAL records folded into the recovered state.
+    pub wal_records_replayed: u64,
+    /// Torn trailing WAL bytes dropped.
+    pub torn_tail_bytes_dropped: u64,
+    /// Wall-clock cost of open + restore, microseconds.
+    pub recovery_us: u64,
+}
+
+/// A durable store attached to a registry: journals mutations, rotates
+/// the WAL into checkpoints, and answers stats queries.
+#[derive(Debug)]
+pub struct DurableStore {
+    inner: Mutex<Store>,
+    /// WAL size that triggers an automatic checkpoint (0 = never).
+    rotate_bytes: u64,
+    /// The registry this store journals for — weak, because the
+    /// registry holds an `Arc` to this store through its journal slot.
+    registry: Mutex<Weak<ModelRegistry>>,
+    journal_errors: AtomicU64,
+}
+
+/// The result of [`DurableStore::open`]: the store handle, the registry
+/// it recovered into (journaling already attached), and the report.
+#[derive(Debug)]
+pub struct DurableOpen {
+    /// The durable store, already installed as the registry's journal.
+    pub store: Arc<DurableStore>,
+    /// The recovered registry — hand it to `Engine::start`.
+    pub registry: Arc<ModelRegistry>,
+    /// What recovery did.
+    pub report: RecoveryReport,
+}
+
+fn spec_record(variant: &ModelVariant) -> SpecRecord {
+    let spec = &variant.spec;
+    let rebuilds = variant.protected.as_ref().map_or(0, |p| {
+        p.lock().expect("protected store poisoned").rebuilds()
+    });
+    SpecRecord {
+        id: spec.id.clone(),
+        family: spec.family.label().to_string(),
+        dims: spec.dims.clone(),
+        seed: spec.seed,
+        weight_format: spec.weight_format,
+        act_format: spec.act_format,
+        protected: spec.protected,
+        fused: spec.fused,
+        format_label: variant.model.format_name().to_string(),
+        plans_built: variant.plans_built as u64,
+        plan_cache_hits: variant.plan_cache_hits as u64,
+        warmed_codebooks: variant.warmed_codebooks as u64,
+        generation: variant.generation,
+        rebuilds,
+    }
+}
+
+/// Serialize a live variant into its container image.
+///
+/// Protected variants persist their storage codes as-is (the storage is
+/// authoritative; latent faults stay under ECC on disk exactly as in
+/// memory). Quantized variants re-encode the served weights through
+/// their frozen recipe and verify the roundtrip decodes bit-identically
+/// — any mismatch drops the *whole variant* to lossless
+/// [`LayerPayload::RawF32`] so restore can never serve different bits.
+/// FP32 variants always persist RawF32.
+///
+/// # Errors
+///
+/// [`StoreError::Restore`] if a protected layer's codec has no
+/// persistable kind (not reachable through [`VariantSpec`] today).
+pub fn export_variant(variant: &ModelVariant) -> Result<StoredVariant, StoreError> {
+    let spec = spec_record(variant);
+    let model = &variant.model;
+    let mut layers = Vec::with_capacity(model.depth());
+    if let Some(protected) = &variant.protected {
+        let guard = protected.lock().expect("protected store poisoned");
+        for (l, (codec, codes)) in guard.export_layers().into_iter().enumerate() {
+            let (_, shape) = model.weight_data(l);
+            let kind = codec.kind().ok_or_else(|| StoreError::Restore {
+                id: spec.id.clone(),
+                context: format!("layer {l} codec has no persistable format kind"),
+            })?;
+            layers.push(StoredLayer {
+                rows: shape[0],
+                cols: shape[1],
+                payload: LayerPayload::Codes {
+                    kind,
+                    n: codec.width(),
+                    params: codec.params(),
+                },
+                codes,
+            });
+        }
+    } else if let Some((kind, n, params)) = model.weight_quant_recipe() {
+        // Re-encode the served weights through the frozen recipe and
+        // keep the codes only if they decode back bit-identically.
+        let mut encoded = Vec::with_capacity(model.depth());
+        let mut exact = true;
+        for (l, &layer_params) in params.iter().enumerate().take(model.depth()) {
+            let (data, shape) = model.weight_data(l);
+            let codec = StorageCodec::from_params(kind, n, layer_params).map_err(|e| {
+                StoreError::Restore {
+                    id: spec.id.clone(),
+                    context: format!("layer {l} recipe cannot rebuild a codec: {e}"),
+                }
+            })?;
+            let codes = codec.encode_slice(data);
+            let (back, _) = codec.decode_slice(&codes, adaptivfloat::DecodePolicy::Harden);
+            if back.len() != data.len()
+                || back
+                    .iter()
+                    .zip(data)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                exact = false;
+                break;
+            }
+            encoded.push((shape.to_vec(), codec, codes));
+        }
+        if exact {
+            for (shape, codec, codes) in encoded {
+                layers.push(StoredLayer {
+                    rows: shape[0],
+                    cols: shape[1],
+                    payload: LayerPayload::Codes {
+                        kind,
+                        n,
+                        params: codec.params(),
+                    },
+                    codes: ProtectedCodes::protect(codes),
+                });
+            }
+        } else {
+            for l in 0..model.depth() {
+                let (data, shape) = model.weight_data(l);
+                layers.push(StoredLayer {
+                    rows: shape[0],
+                    cols: shape[1],
+                    payload: LayerPayload::RawF32,
+                    codes: raw_f32_codes(data),
+                });
+            }
+        }
+    } else {
+        for l in 0..model.depth() {
+            let (data, shape) = model.weight_data(l);
+            layers.push(StoredLayer {
+                rows: shape[0],
+                cols: shape[1],
+                payload: LayerPayload::RawF32,
+                codes: raw_f32_codes(data),
+            });
+        }
+    }
+    let act = model.act_recipe().map(|(kind, n, maxes)| ActRecord {
+        kind,
+        n,
+        maxes: maxes.to_vec(),
+    });
+    Ok(StoredVariant { spec, layers, act })
+}
+
+fn restore_err(id: &str, context: String) -> StoreError {
+    StoreError::Restore {
+        id: id.to_string(),
+        context,
+    }
+}
+
+/// Rebuild a servable variant from its container image — **zero
+/// requantization**: weights decode from the stored codes, activation
+/// plans rebuild from the stored calibrated ranges, and the fused GEMM
+/// re-packs from the stored recipe. Biases and protected masters come
+/// from the deterministic synthesis under the stored `(family, seed,
+/// dims)`.
+///
+/// # Errors
+///
+/// [`StoreError::Restore`] when the stored spec is internally
+/// inconsistent (unknown family, geometry mismatch, mixed layer modes).
+pub fn restore_variant(stored: &StoredVariant) -> Result<RestoredParts, StoreError> {
+    let rec = &stored.spec;
+    let id = &rec.id;
+    let family = ModelFamily::from_label(&rec.family)
+        .ok_or_else(|| restore_err(id, format!("unknown model family {:?}", rec.family)))?;
+    let spec = VariantSpec {
+        id: id.clone(),
+        family,
+        dims: rec.dims.clone(),
+        seed: rec.seed,
+        weight_format: rec.weight_format,
+        act_format: rec.act_format,
+        protected: rec.protected,
+        fused: rec.fused,
+    };
+    let base = FrozenMlp::synthesize(family, rec.seed, &rec.dims);
+    if stored.layers.len() != base.depth() {
+        return Err(restore_err(
+            id,
+            format!(
+                "{} stored layers but the dims synthesize {}",
+                stored.layers.len(),
+                base.depth()
+            ),
+        ));
+    }
+    for (l, layer) in stored.layers.iter().enumerate() {
+        let (_, shape) = base.weight_data(l);
+        if layer.rows != shape[0] || layer.cols != shape[1] {
+            return Err(restore_err(
+                id,
+                format!(
+                    "layer {l} is {}x{} on disk but {}x{} synthesized",
+                    layer.rows, layer.cols, shape[0], shape[1]
+                ),
+            ));
+        }
+    }
+
+    let mut protected: Option<Arc<Mutex<ProtectedWeights>>> = None;
+    let model = if rec.protected {
+        // Storage-authoritative: rebuild the protected store from the
+        // persisted codes (latent faults and ECC history intact), then
+        // serve what it decodes to — exactly the registration path.
+        let mut parts = Vec::with_capacity(stored.layers.len());
+        for (l, layer) in stored.layers.iter().enumerate() {
+            let LayerPayload::Codes { kind, n, params } = &layer.payload else {
+                return Err(restore_err(
+                    id,
+                    format!("protected variant stores layer {l} without codes"),
+                ));
+            };
+            let codec = StorageCodec::from_params(*kind, *n, *params).map_err(|e| {
+                restore_err(id, format!("layer {l} params cannot rebuild a codec: {e}"))
+            })?;
+            let (master, _) = base.weight_data(l);
+            parts.push((codec, layer.codes.clone(), master.to_vec()));
+        }
+        let store = ProtectedWeights::restore(&rec.format_label, rec.rebuilds, parts);
+        let (weights, _) = store.decoded_weights();
+        let label = store.format_label().to_string();
+        protected = Some(Arc::new(Mutex::new(store)));
+        base.with_weight_data(weights, &label)
+    } else {
+        let raw = stored
+            .layers
+            .iter()
+            .all(|l| matches!(l.payload, LayerPayload::RawF32));
+        let coded = stored
+            .layers
+            .iter()
+            .all(|l| matches!(l.payload, LayerPayload::Codes { .. }));
+        if !raw && !coded {
+            return Err(restore_err(
+                id,
+                "container mixes RawF32 and coded layers".to_string(),
+            ));
+        }
+        let mut weights = Vec::with_capacity(stored.layers.len());
+        for layer in &stored.layers {
+            let (vals, _) = layer.decode_values().map_err(|e| match e {
+                StoreError::Malformed { context, .. } => restore_err(id, context),
+                other => other,
+            })?;
+            weights.push(vals);
+        }
+        if coded {
+            let LayerPayload::Codes { kind, n, .. } = &stored.layers[0].payload else {
+                unreachable!("coded implies every layer has codes")
+            };
+            let params: Vec<adaptivfloat::PlanParams> = stored
+                .layers
+                .iter()
+                .map(|l| match &l.payload {
+                    LayerPayload::Codes { params, .. } => *params,
+                    LayerPayload::RawF32 => unreachable!("checked above"),
+                })
+                .collect();
+            base.with_quantized_weights(*kind, *n, &params, weights, &rec.format_label)
+        } else if rec.weight_format.is_none() && rec.format_label == "fp32" {
+            // A pristine FP32 variant: keep the synthesized tensors as
+            // the served weights (they are bit-identical to the stored
+            // RawF32 values; this also keeps format_name() = "fp32").
+            base.with_weight_data(weights, "fp32")
+        } else {
+            base.with_weight_data(weights, &rec.format_label)
+        }
+    };
+
+    // Activation quantization from the frozen ranges — no calibration
+    // forward pass, no fresh codebook builds beyond what the original
+    // registration already cached process-wide.
+    let model = match &stored.act {
+        None => model,
+        Some(act) => model
+            .with_act_quant_frozen(act.kind, act.n, &act.maxes)
+            .map_err(|e| restore_err(id, format!("stored act recipe rejected: {e}")))?,
+    };
+    // The fused GEMM re-packs from the restored recipe; its exact
+    // re-encode asserts re-verify every weight.
+    let model = if rec.fused {
+        model.with_fused_gemm()
+    } else {
+        model
+    };
+    let warmed = model.prewarm_codebooks();
+    let _ = warmed; // counters below prefer the persisted values
+    Ok(RestoredParts {
+        spec,
+        model,
+        warmed_codebooks: rec.warmed_codebooks as usize,
+        plans_built: rec.plans_built as usize,
+        plan_cache_hits: rec.plan_cache_hits as usize,
+        generation: rec.generation,
+        protected,
+    })
+}
+
+impl DurableStore {
+    /// Open (or initialize) the store at `root`, recover every
+    /// persisted variant into a fresh registry, and attach this handle
+    /// as the registry's journal.
+    ///
+    /// # Errors
+    ///
+    /// Any typed [`StoreError`] from the store open or a variant
+    /// restore. A corrupt store fails here — loudly, before serving —
+    /// rather than serving wrong bits; the operator can
+    /// [`af_store::Store::rollback`] to a previous checkpoint.
+    pub fn open(
+        root: &Path,
+        sync: SyncPolicy,
+        rotate_bytes: u64,
+    ) -> Result<DurableOpen, StoreError> {
+        let t0 = Instant::now();
+        let (store, recovery) = Store::open(root, sync)?;
+        let registry = Arc::new(ModelRegistry::new());
+        for stored in &recovery.variants {
+            let parts = restore_variant(stored)?;
+            registry.install(parts);
+        }
+        let report = RecoveryReport {
+            recovered_variants: recovery.variants.len(),
+            wal_records_replayed: recovery.wal_records_replayed,
+            torn_tail_bytes_dropped: recovery.torn_tail_bytes_dropped,
+            recovery_us: t0.elapsed().as_micros() as u64,
+        };
+        let durable = Arc::new(DurableStore {
+            inner: Mutex::new(store),
+            rotate_bytes,
+            registry: Mutex::new(Arc::downgrade(&registry)),
+            journal_errors: AtomicU64::new(0),
+        });
+        registry.set_journal(Arc::clone(&durable) as Arc<dyn RegistryJournal>);
+        Ok(DurableOpen {
+            store: durable,
+            registry,
+            report,
+        })
+    }
+
+    /// Journal-hook persistence failures so far (the serve path never
+    /// panics on them).
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
+    }
+
+    /// Current store counters.
+    pub fn stats(&self) -> af_store::StoreStats {
+        self.inner.lock().expect("store poisoned").stats()
+    }
+
+    /// Store counters as a JSON object, with journal health appended.
+    pub fn stats_json(&self) -> String {
+        let base = self.stats().to_json();
+        format!(
+            "{},\"journal_errors\":{}}}",
+            &base[..base.len() - 1],
+            self.journal_errors()
+        )
+    }
+
+    /// Fold the WAL into a fresh checkpoint built from the registry's
+    /// current state. Returns the new checkpoint version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] from export or the checkpoint write; the store
+    /// stays on its old checkpoint on failure.
+    pub fn checkpoint(&self) -> Result<u64, StoreError> {
+        let registry = self
+            .registry
+            .lock()
+            .expect("registry slot poisoned")
+            .upgrade()
+            .ok_or_else(|| restore_err("<registry>", "registry dropped".to_string()))?;
+        let mut exported = Vec::new();
+        for id in registry.ids() {
+            if let Some(variant) = registry.get(&id) {
+                exported.push(export_variant(&variant)?);
+            }
+        }
+        self.inner
+            .lock()
+            .expect("store poisoned")
+            .checkpoint(&exported)
+    }
+
+    /// Flush any batched WAL records.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.inner.lock().expect("store poisoned").sync()
+    }
+
+    fn note_error(&self, what: &str, err: &StoreError) {
+        self.journal_errors.fetch_add(1, Ordering::Relaxed);
+        eprintln!("af-serve: durable store failed to journal {what}: {err}");
+    }
+
+    fn maybe_rotate(&self) {
+        if self.rotate_bytes == 0 {
+            return;
+        }
+        let wal_bytes = self.inner.lock().expect("store poisoned").stats().wal_bytes;
+        if wal_bytes < self.rotate_bytes {
+            return;
+        }
+        if let Err(e) = self.checkpoint() {
+            self.note_error("checkpoint rotation", &e);
+        }
+    }
+}
+
+impl RegistryJournal for DurableStore {
+    fn on_register(&self, variant: &ModelVariant) {
+        match export_variant(variant) {
+            Ok(stored) => {
+                let result = self
+                    .inner
+                    .lock()
+                    .expect("store poisoned")
+                    .persist_variant(&stored);
+                if let Err(e) = result {
+                    self.note_error("register", &e);
+                }
+            }
+            Err(e) => self.note_error("register export", &e),
+        }
+        self.maybe_rotate();
+    }
+
+    fn on_scrub(&self, id: &str, outcome: &ScrubOutcome) {
+        let result = self.inner.lock().expect("store poisoned").log_scrub(
+            id,
+            outcome.corrected as u64,
+            outcome.uncorrectable as u64,
+            outcome.rebuilt,
+            outcome.generation,
+        );
+        if let Err(e) = result {
+            self.note_error("scrub", &e);
+        }
+        self.maybe_rotate();
+    }
+
+    fn on_swap(&self, id: &str, generation: u64) {
+        let result = self
+            .inner
+            .lock()
+            .expect("store poisoned")
+            .log_swap(id, generation);
+        if let Err(e) = result {
+            self.note_error("swap", &e);
+        }
+        self.maybe_rotate();
+    }
+
+    fn on_unregister(&self, id: &str) {
+        let result = self
+            .inner
+            .lock()
+            .expect("store poisoned")
+            .log_unregister(id);
+        if let Err(e) = result {
+            self.note_error("unregister", &e);
+        }
+        self.maybe_rotate();
+    }
+}

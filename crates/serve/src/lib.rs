@@ -34,6 +34,14 @@
 //!    supervisor restarts panicked lane workers (in-flight batch fails
 //!    with `500`, never hangs).
 //!
+//! 6. **Durable store & crash recovery** ([`durable`]) — a
+//!    [`DurableStore`] journals every registry mutation through
+//!    [`af_store`]'s write-ahead log and persists each variant as an
+//!    ECC-protected container, so a `kill -9` mid-traffic recovers to
+//!    **bit-identical** serving (weights from stored codes, activation
+//!    plans from stored calibrated ranges — zero requantization) with
+//!    generation counters intact.
+//!
 //! The in-process path ([`Engine::infer`](batcher::Engine::infer)) and
 //! the TCP path share every layer below the protocol, so tests can
 //! drive either.
@@ -43,6 +51,7 @@
 
 pub mod batcher;
 pub mod client;
+pub mod durable;
 pub mod http;
 pub mod protect;
 pub mod queue;
@@ -53,8 +62,11 @@ pub mod stats;
 
 pub use batcher::{Engine, EngineConfig, ServeError};
 pub use client::{Client, ClientError, RetryPolicy};
+pub use durable::{DurableOpen, DurableStore, RecoveryReport};
 pub use protect::ProtectedWeights;
-pub use registry::{ModelRegistry, ModelVariant, ScrubOutcome, VariantSpec};
+pub use registry::{
+    ModelRegistry, ModelVariant, RegistryJournal, RestoredParts, ScrubOutcome, VariantSpec,
+};
 pub use scrub::{ScrubSummary, Scrubber};
 pub use server::Server;
 pub use stats::{ServeStats, StatsSnapshot};

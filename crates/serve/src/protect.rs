@@ -159,6 +159,40 @@ impl ProtectedWeights {
         self.rebuilds += 1;
     }
 
+    /// Export every layer's storage for persistence: the fitted codec
+    /// (whose frozen params a container serializes) and the protected
+    /// codes *as stored* — latent single-bit faults and ECC history
+    /// included, exactly what a durable store must preserve.
+    pub fn export_layers(&self) -> Vec<(StorageCodec, ProtectedCodes)> {
+        self.layers
+            .iter()
+            .map(|l| (l.codec.clone(), l.codes.clone()))
+            .collect()
+    }
+
+    /// Rebuild a store from persisted parts: one `(codec, codes,
+    /// master)` triple per layer, plus the label and rebuild counter the
+    /// container preserved. The masters come from the caller's
+    /// deterministic re-synthesis — they are not stored on disk.
+    pub fn restore(
+        format_label: &str,
+        rebuilds: u64,
+        parts: Vec<(StorageCodec, ProtectedCodes, Vec<f32>)>,
+    ) -> ProtectedWeights {
+        ProtectedWeights {
+            format_label: format_label.to_string(),
+            layers: parts
+                .into_iter()
+                .map(|(codec, codes, master)| ProtectedLayer {
+                    codec,
+                    codes,
+                    master,
+                })
+                .collect(),
+            rebuilds,
+        }
+    }
+
     /// Corrupt layer `l`'s protected storage with a width-1 bit-level
     /// fault map (see [`inject_protected_bits`]); the map must cover
     /// [`storage_bits`](Self::storage_bits)`(l)` elements. Returns bits

@@ -156,17 +156,72 @@ pub struct ScrubOutcome {
 /// Rows of calibration inputs used when a variant quantizes activations.
 const CALIB_ROWS: usize = 64;
 
+/// Observer for registry mutations — the seam a durable store plugs
+/// into so every register, scrub, hot swap, and unregister is journaled
+/// before the next one can happen. Hooks are invoked *after* the
+/// registry releases its write lock (an implementation may call back
+/// into read-side registry methods), and must not panic: persistence
+/// failures are the implementor's to count and report.
+pub trait RegistryJournal: Send + Sync + std::fmt::Debug {
+    /// A variant was built and published (first build or re-register).
+    fn on_register(&self, variant: &ModelVariant);
+    /// A scrub pass finished over a protected variant.
+    fn on_scrub(&self, id: &str, outcome: &ScrubOutcome);
+    /// A hot swap republished `id`'s snapshot at `generation`.
+    fn on_swap(&self, id: &str, generation: u64);
+    /// `id` was removed from the registry.
+    fn on_unregister(&self, id: &str);
+}
+
+/// The pieces of a variant reconstructed from durable storage, handed
+/// to [`ModelRegistry::install`]. Unlike a fresh
+/// [`register`](ModelRegistry::register), every counter is supplied by
+/// the caller (recovered from disk) and nothing is journaled.
+#[derive(Debug)]
+pub struct RestoredParts {
+    /// The spec the variant was originally built from.
+    pub spec: VariantSpec,
+    /// The restored snapshot (weights decoded from stored codes).
+    pub model: FrozenMlp,
+    /// Recovered counter: codebook-path layers warm at build time.
+    pub warmed_codebooks: usize,
+    /// Recovered counter: plans frozen building the original snapshot.
+    pub plans_built: usize,
+    /// Recovered counter: codebook cache hits at original build.
+    pub plan_cache_hits: usize,
+    /// Recovered hot-swap generation — restart must not reset it.
+    pub generation: u64,
+    /// Restored protected storage, when the spec used it.
+    pub protected: Option<Arc<Mutex<ProtectedWeights>>>,
+}
+
 /// The id → snapshot map. Cheap to share (`Arc<ModelRegistry>`); the
 /// serve path takes only the read lock.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     inner: RwLock<HashMap<String, Arc<ModelVariant>>>,
+    journal: RwLock<Option<Arc<dyn RegistryJournal>>>,
 }
 
 impl ModelRegistry {
     /// An empty registry.
     pub fn new() -> ModelRegistry {
         ModelRegistry::default()
+    }
+
+    /// Attach a journal. Mutations from this point on flow through it;
+    /// anything already registered (e.g. variants installed during
+    /// recovery, which the journal's own log produced) is not replayed.
+    pub fn set_journal(&self, journal: Arc<dyn RegistryJournal>) {
+        *self.journal.write().expect("journal lock poisoned") = Some(journal);
+    }
+
+    fn journal(&self) -> Option<Arc<dyn RegistryJournal>> {
+        self.journal
+            .read()
+            .expect("journal lock poisoned")
+            .as_ref()
+            .map(Arc::clone)
     }
 
     /// Build and publish a variant. Quantizes weights once, calibrates
@@ -242,7 +297,50 @@ impl ModelRegistry {
             spec: spec.clone(),
         });
         map.insert(spec.id.clone(), Arc::clone(&variant));
+        drop(map);
+        if let Some(journal) = self.journal() {
+            journal.on_register(&variant);
+        }
         Ok(variant)
+    }
+
+    /// Publish a variant reconstructed from durable storage, preserving
+    /// its recovered generation and counters. Recovery-only: nothing is
+    /// journaled (the journal's own records produced this state), and
+    /// any existing entry under the id is replaced.
+    pub fn install(&self, parts: RestoredParts) -> Arc<ModelVariant> {
+        let variant = Arc::new(ModelVariant {
+            id: parts.spec.id.clone(),
+            model: parts.model,
+            warmed_codebooks: parts.warmed_codebooks,
+            plans_built: parts.plans_built,
+            plan_cache_hits: parts.plan_cache_hits,
+            generation: parts.generation,
+            protected: parts.protected,
+            spec: parts.spec,
+        });
+        self.inner
+            .write()
+            .expect("registry poisoned")
+            .insert(variant.id.clone(), Arc::clone(&variant));
+        variant
+    }
+
+    /// Remove `id` from the registry (journaled). In-flight batches
+    /// keep the `Arc` they hold. Returns whether anything was removed.
+    pub fn unregister(&self, id: &str) -> bool {
+        let removed = self
+            .inner
+            .write()
+            .expect("registry poisoned")
+            .remove(id)
+            .is_some();
+        if removed {
+            if let Some(journal) = self.journal() {
+                journal.on_unregister(id);
+            }
+        }
+        removed
     }
 
     /// Rebuild `id`'s served snapshot from its (possibly scrubbed)
@@ -281,6 +379,10 @@ impl ModelRegistry {
             spec,
         });
         map.insert(id.to_string(), Arc::clone(&variant));
+        drop(map);
+        if let Some(journal) = self.journal() {
+            journal.on_swap(id, variant.generation);
+        }
         Some(variant)
     }
 
@@ -309,12 +411,16 @@ impl ModelRegistry {
         } else {
             current.generation
         };
-        Some(ScrubOutcome {
+        let outcome = ScrubOutcome {
             corrected: report.corrected,
             uncorrectable: report.uncorrectable,
             rebuilt,
             generation,
-        })
+        };
+        if let Some(journal) = self.journal() {
+            journal.on_scrub(id, &outcome);
+        }
+        Some(outcome)
     }
 
     /// Fetch the current snapshot for `id` (read lock + `Arc` clone).

@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/`crc32` variant) — the
+//! per-section integrity check of the container format and the
+//! per-record check of the write-ahead log.
+//!
+//! The workspace builds without network access, so the checksum is
+//! implemented here: a 256-entry table generated at first use behind a
+//! `OnceLock`, reflected polynomial `0xEDB8_8320`, init and final XOR
+//! `0xFFFF_FFFF` — byte-for-byte the checksum `zlib.crc32` produces,
+//! which keeps the format verifiable from Python in CI.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE polynomial, zlib-compatible).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // The classic check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0xA5u8; 257];
+        let clean = crc32(&data);
+        for byte in [0usize, 1, 128, 256] {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}.{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+}

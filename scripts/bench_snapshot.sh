@@ -121,6 +121,21 @@ fi
 cargo run --release -q -p af-bench --bin serve_load -- \
     --out BENCH_serving.json
 echo "wrote BENCH_serving.json"
+# Surface the durable-store restart cost next to the serving numbers:
+# cold registration (quantize everything from the f32 master) vs
+# reopening the persisted store (WAL replay / checkpoint load).
+python3 - <<'PY'
+import json
+
+with open("BENCH_serving.json") as f:
+    s = json.load(f).get("store")
+if s:
+    assert s["bit_identical"] is True, s
+    print(f"durable store ({s['variants']} variants): "
+          f"cold register {s['cold_register_us']}us, "
+          f"warm open wal {s['warm_open_wal_us']}us, "
+          f"warm open ckpt {s['warm_open_ckpt_us']}us")
+PY
 if [ -f "$TMP_DIR/serving_before.json" ]; then
     BEFORE="$TMP_DIR/serving_before.json" python3 - <<'PY'
 import json, os

@@ -43,6 +43,8 @@ AF_NUM_THREADS=1 cargo test -q --test serve_e2e
 # The supervisor/scrubber/self-healing paths must also hold when the
 # runtime is forced serial (panic propagation takes the serial path).
 AF_NUM_THREADS=1 cargo test -q --test serve_selfheal_e2e
+# Crash recovery must stay bit-identical with the runtime forced serial.
+AF_NUM_THREADS=1 cargo test -q --test store_e2e
 
 echo "== bit-identity under AF_FORCE_SCALAR=1 =="
 # Every SIMD path must be bit-identical to its scalar twin, and every
@@ -58,7 +60,8 @@ AF_FORCE_SCALAR=1 cargo test -q --test serve_e2e
 
 echo "== fault_sweep smoke (--quick) =="
 TMP_DIR="$(mktemp -d)"
-trap 'rm -rf "$TMP_DIR"' EXIT
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$TMP_DIR"' EXIT
 cargo run --release -q -p af-bench --bin fault_sweep -- \
     --quick --out "$TMP_DIR/BENCH_resilience.json" >/dev/null
 python3 - "$TMP_DIR/BENCH_resilience.json" <<'PY'
@@ -118,7 +121,80 @@ for f in fused:
         f"fused weight bytes not reduced: {f['weight_bytes']} vs "
         f"{dense[0]['weight_bytes']}"
     )
-print(f"ok: {len(doc['cells'])} serving cells ({len(fused)} fused)")
+# The durable-store timing section: recovery happened, bit-identically.
+store = doc["store"]
+assert store["bit_identical"] is True, store
+assert store["variants"] >= 3, store
+assert store["cold_register_us"] > 0, store
+assert store["warm_open_wal_us"] > 0, store
+assert store["warm_open_ckpt_us"] > 0, store
+print(f"ok: {len(doc['cells'])} serving cells ({len(fused)} fused), store timed")
+PY
+
+echo "== crash-recovery smoke (kill -9) =="
+cargo build --release -q -p af-bench --bin store_crash
+CRASH_BIN="target/release/store_crash"
+STORE_ROOT="$TMP_DIR/store"
+READY="$TMP_DIR/ready"
+
+wait_ready() {
+    for _ in $(seq 1 150); do
+        [ -s "$READY" ] && return 0
+        sleep 0.1
+    done
+    echo "error: serving process never became ready" >&2
+    return 1
+}
+
+# Round 1: fresh store, register, take traffic, record the bits.
+"$CRASH_BIN" serve --root "$STORE_ROOT" --ready-file "$READY" \
+    2>"$TMP_DIR/serve1.log" &
+SERVE_PID=$!
+wait_ready
+"$CRASH_BIN" probe --addr "$(cat "$READY")" \
+    --out "$TMP_DIR/before.bits" >"$TMP_DIR/before.stats"
+# The crash: no shutdown, no checkpoint — SIGKILL mid-serving.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -f "$READY"
+
+# Round 2: restart over the same root and re-probe.
+"$CRASH_BIN" serve --root "$STORE_ROOT" --ready-file "$READY" \
+    2>"$TMP_DIR/serve2.log" &
+SERVE_PID=$!
+wait_ready
+"$CRASH_BIN" probe --addr "$(cat "$READY")" \
+    --out "$TMP_DIR/after.bits" >"$TMP_DIR/after.stats"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Every response after the kill must be byte-identical to before it.
+diff "$TMP_DIR/before.bits" "$TMP_DIR/after.bits"
+python3 - "$TMP_DIR/after.stats" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+store = doc["store"]
+assert store is not None, "no store section in /stats"
+assert store["recovered_variants"] == 3, store
+assert store["wal_replays"] >= 3, store
+assert store["journal_errors"] == 0, store
+assert store["torn_tail_bytes_dropped"] == 0, store
+names = {v["id"] for v in doc["variants"]}
+assert names == {"crash/fp32", "crash/protected", "crash/fused"}, names
+gens = {v["id"]: v["generation"] for v in doc["variants"]}
+assert all(g == 0 for g in gens.values()), gens
+protected = [v for v in doc["variants"] if v["protected"]]
+assert len(protected) == 1, "exactly one SEC-DED protected variant"
+fused = [v for v in doc["variants"] if v["fused_gemm"]]
+assert len(fused) == 1 and fused[0]["fused_layers"] > 0, "fused variant lost"
+print(
+    f"ok: bit-identical across kill -9, {store['recovered_variants']} variants "
+    f"recovered from {store['wal_replays']} WAL records"
+)
 PY
 
 echo "CI green."
